@@ -1,0 +1,62 @@
+"""Ablation E12: energy per prediction with and without the PL offload.
+
+The paper motivates FPGAs as "an energy-efficient solution" but reports no
+power numbers.  This ablation combines the Table-5 execution-time model with
+the documented Zynq-7000 power figures (see ``repro.fpga.power``) to estimate
+the per-prediction energy of each architecture, answering whether the offload
+saves energy as well as time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_records
+from repro.core import ExecutionTimeModel
+from repro.fpga import PowerModel, ResourceEstimator, ResourceVector
+
+from conftest import print_report
+
+MODELS = ("ResNet", "rODENet-1", "rODENet-2", "rODENet-3", "ODENet-3", "Hybrid-3")
+
+
+def test_energy_per_prediction(benchmark):
+    execution = ExecutionTimeModel(n_units=16)
+    power = PowerModel(execution_model=execution)
+    estimator = ResourceEstimator()
+
+    def sweep():
+        rows = []
+        for name in MODELS:
+            report = execution.report(name, 56)
+            if report.offload_targets:
+                resources = ResourceVector()
+                for target in report.offload_targets:
+                    resources = resources + estimator.estimate(target, 16).resources
+            else:
+                resources = ResourceVector()
+            comparison = power.compare(name, 56, resources)
+            rows.append(
+                {
+                    "model": f"{name}-56",
+                    "energy_sw_J": round(comparison["energy_without_pl_J"], 3),
+                    "energy_offloaded_J": round(comparison["energy_with_pl_J"], 3),
+                    "energy_ratio": round(comparison["energy_ratio"], 2),
+                    "time_speedup": round(comparison["time_speedup"], 2),
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print_report("Ablation E12: energy per prediction at N=56 (modelled)", format_records(rows))
+
+    by_model = {r["model"]: r for r in rows}
+    # The offload saves energy for every variant that benefits in time ...
+    for name in ("rODENet-1-56", "rODENet-2-56", "rODENet-3-56"):
+        assert by_model[name]["energy_ratio"] > 2.0
+        # ... and the energy ratio beats the time speedup because the PS
+        # idles while the PL computes.
+        assert by_model[name]["energy_ratio"] > by_model[name]["time_speedup"]
+    # rODENet-3 is the most energy-efficient of the evaluated designs.
+    best = max(rows, key=lambda r: r["energy_ratio"])
+    assert best["model"] in ("rODENet-3-56", "rODENet-1-56")

@@ -1,0 +1,59 @@
+"""Ablation E9: end-to-end speedup versus the number of multiply-add units.
+
+The paper fixes conv_x16 for its end-to-end numbers; this ablation sweeps the
+MAC-unit count for rODENet-3-56 to show where the knee of the speedup curve
+is (BN time and software layers bound the benefit — Amdahl's law), and why
+conv_x32 would not help even if it closed timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_records
+from repro.core import ExecutionTimeModel, OffloadPlanner
+from repro.fpga import TimingModel
+
+from conftest import print_report
+
+
+def test_parallelism_speedup_ablation(benchmark):
+    model = ExecutionTimeModel()
+    timing = TimingModel()
+
+    def sweep():
+        rows = []
+        for n in (1, 2, 4, 8, 16, 32, 64):
+            report_n = ExecutionTimeModel(n_units=n).report("rODENet-3", 56)
+            rows.append(
+                {
+                    "n_units": n,
+                    "target_w_PL_s": round(sum(report_n.target_with_pl), 3),
+                    "total_w_PL_s": round(report_n.total_with_pl, 3),
+                    "overall_speedup": round(report_n.overall_speedup, 2),
+                    "meets_100MHz": timing.analyze(n).meets_timing,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print_report("Ablation E9: rODENet-3-56 speedup vs MAC-unit count", format_records(rows))
+
+    speedups = [r["overall_speedup"] for r in rows]
+    assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))
+    # Diminishing returns (Amdahl): the speedup multiplier earned by each
+    # further doubling of the MAC units shrinks monotonically, because the BN
+    # step and the software-resident layers do not scale with the units.
+    ratios = [b / a for a, b in zip(speedups, speedups[1:])]
+    assert all(r1 >= r2 - 1e-9 for r1, r2 in zip(ratios, ratios[1:]))
+    # The conv_x16 configuration (the paper's choice) achieves ~2.66x.
+    by_units = {r["n_units"]: r for r in rows}
+    assert by_units[16]["overall_speedup"] == pytest.approx(2.66, abs=0.06)
+    # Offloading with a single MAC unit would actually be slower than software.
+    assert by_units[1]["overall_speedup"] < 1.0
+
+
+def test_max_feasible_parallelism(benchmark):
+    planner = OffloadPlanner()
+    best = benchmark(planner.max_feasible_parallelism, ("layer3_2",))
+    assert best == 16

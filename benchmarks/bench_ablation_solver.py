@@ -1,0 +1,80 @@
+"""Ablation E10: ODE-solver choice (Euler vs RK2 vs RK4).
+
+Section 2.3: "a fourth-order Runge-Kutta method is used for training with
+high accuracy, while Euler method is used for prediction tasks for low
+latency and simplicity. We can strike a balance between accuracy and
+performance by selecting a proper solver."
+
+This ablation quantifies that trade-off on the execution-time model (each RK
+stage is one more ODEBlock execution on the PL part) and on a reference ODE
+whose exact solution is known (solution fidelity per stage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_records
+from repro.core import ExecutionTimeModel, variant_spec
+from repro.ode import get_solver, solver_order
+
+from conftest import print_report
+
+
+def test_solver_cost_fidelity_tradeoff(benchmark):
+    exec_model = ExecutionTimeModel()
+    spec = variant_spec("rODENet-3", 56)
+    executions = spec.plan("layer3_2").executions_per_block
+    pl_seconds = exec_model.pl_layer_seconds("layer3_2")
+
+    def sweep():
+        rows = []
+        for method in ("euler", "midpoint", "rk4"):
+            solver = get_solver(method)
+            stages = solver.stages_per_step
+            # Reference problem: dz/dt = -z over the block's [0, M] span,
+            # M steps (the paper's one-step-per-block correspondence).
+            z1 = solver.integrate(lambda z, t: -0.05 * z, np.array([1.0]), 0.0, float(executions), executions)
+            exact = np.exp(-0.05 * executions)
+            rows.append(
+                {
+                    "solver": method,
+                    "order": solver_order(method),
+                    "stages_per_step": stages,
+                    "pl_time_per_image_s": round(pl_seconds * executions * stages, 3),
+                    "relative_solution_error": float(abs(z1[0] - exact) / exact),
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print_report("Ablation E10: ODE solver choice for the offloaded ODEBlock (rODENet-3-56)", format_records(rows))
+
+    euler, midpoint, rk4 = rows
+    # Cost grows linearly with the number of stages (values are rounded to ms
+    # in the report, hence the loose tolerance) ...
+    assert midpoint["pl_time_per_image_s"] == pytest.approx(2 * euler["pl_time_per_image_s"], rel=5e-3)
+    assert rk4["pl_time_per_image_s"] == pytest.approx(4 * euler["pl_time_per_image_s"], rel=5e-3)
+    # ... while the solution error shrinks by orders of magnitude.
+    assert euler["relative_solution_error"] > midpoint["relative_solution_error"] > rk4["relative_solution_error"]
+
+
+def test_prediction_output_drift_between_solvers(benchmark):
+    """How much an ODEBlock's output changes when the prediction solver changes."""
+
+    from repro.core.odeblock import ODEBlock
+    from repro.nn import Tensor
+
+    rng = np.random.default_rng(0)
+    euler_block = ODEBlock(8, num_steps=4, method="euler", rng=np.random.default_rng(1))
+    rk4_block = ODEBlock(8, num_steps=4, method="rk4", rng=np.random.default_rng(1))
+    rk4_block.load_state_dict(euler_block.state_dict())
+    euler_block.eval(), rk4_block.eval()
+    x = Tensor(rng.normal(0, 0.3, size=(1, 8, 6, 6)))
+
+    def drift():
+        return float(np.max(np.abs(euler_block(x).data - rk4_block(x).data)))
+
+    value = benchmark(drift)
+    assert value > 0.0

@@ -1,0 +1,53 @@
+"""Ablation E13: projected training-offload benefit (the paper's future work).
+
+Section 5: "we are planning to offload the training process of the rODENet
+variants to FPGA devices."  This benchmark projects what that would buy using
+the training-time model: per-image SGD-step time in pure software versus with
+the forward *and* backward passes of the offload target on the PL, plus
+epoch-level projections that make the motivation obvious (training CIFAR-100
+on the embedded CPU alone is a months-long proposition).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_records
+from repro.core import TrainingTimeModel
+
+from conftest import print_report
+
+MODELS = ("ResNet", "rODENet-1", "rODENet-2", "rODENet-3", "Hybrid-3")
+
+
+def test_training_offload_projection(benchmark):
+    model = TrainingTimeModel()
+
+    def sweep():
+        rows = []
+        for name in MODELS:
+            report = model.report(name, 56)
+            projections = model.epoch_table((name,), 56)[name]
+            rows.append(
+                {
+                    "model": f"{name}-56",
+                    "train_step_sw_s": round(report.step_seconds_software, 2),
+                    "train_step_offloaded_s": round(report.step_seconds_offloaded, 2),
+                    "target_share_%": round(report.target_share_percent, 1),
+                    "step_speedup": round(report.step_speedup, 2),
+                    "epoch_hours_sw": round(projections["epoch_hours_software"], 1),
+                    "epoch_hours_offloaded": round(projections["epoch_hours_offloaded"], 1),
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print_report("Ablation E13: projected training-step times with the PL offload (N=56)", format_records(rows))
+
+    by_model = {r["model"]: r for r in rows}
+    # The training-step speedup tracks the prediction speedup of Table 5.
+    assert by_model["rODENet-3-56"]["step_speedup"] == pytest.approx(2.66, abs=0.15)
+    assert by_model["ResNet-56"]["step_speedup"] == pytest.approx(1.0)
+    # Heavy reuse of the offloaded block is what creates the opportunity.
+    assert by_model["rODENet-3-56"]["target_share_%"] > 80
+    assert by_model["Hybrid-3-56"]["target_share_%"] < 35

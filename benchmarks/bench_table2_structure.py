@@ -1,0 +1,56 @@
+"""Benchmark / regeneration of Table 2: ODENet network structure.
+
+Regenerates the per-layer parameter sizes of Table 2 and times the analytical
+parameter model (it is evaluated inside design-space sweeps, so its cost
+matters for the offload planner).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_records, table2_records
+from repro.core import variant_parameter_bytes
+
+from conftest import print_report
+
+#: Table 2's published parameter sizes in kB.
+PAPER_TABLE2_KB = {
+    "conv1": 1.86,
+    "layer1": 19.84,
+    "layer2_1": 55.81,
+    "layer2_2": 76.54,
+    "layer3_1": 222.21,
+    "layer3_2": 300.54,
+    "fc": 26.00,
+}
+
+
+def test_table2_regeneration(benchmark):
+    """Regenerate Table 2 and check every row against the paper."""
+
+    records = benchmark(table2_records)
+
+    rows = []
+    for record in records:
+        paper = PAPER_TABLE2_KB[record["layer"]]
+        rows.append(
+            {
+                "layer": record["layer"],
+                "output_size": record["output_size"],
+                "paper_kB": paper,
+                "repro_kB": round(record["parameter_kB"], 2),
+                "executions": record["executions_per_block"],
+            }
+        )
+    print_report("Table 2: network structure of ODENet (parameter size per layer)", format_records(rows))
+
+    for row in rows:
+        assert row["repro_kB"] == pytest.approx(row["paper_kB"], abs=0.01)
+
+
+def test_total_parameter_size_odenet(benchmark):
+    """Time the total-parameter-size computation used across the sweeps."""
+
+    total = benchmark(variant_parameter_bytes, "ODENet", 56)
+    assert total == pytest.approx(702_800, rel=0.001)

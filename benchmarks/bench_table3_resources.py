@@ -1,0 +1,47 @@
+"""Benchmark / regeneration of Table 3: FPGA resource utilisation.
+
+Prints the published Vivado utilisations of layer1 / layer2_2 / layer3_2 for
+conv_x1..x16 next to the analytical resource model's estimates, and checks
+the model-level claims (exact DSP counts, BRAM ordering, feasibility).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_records, table3_records
+from repro.fpga import PUBLISHED_TABLE3, ResourceEstimator, ZYNQ_XC7Z020
+
+from conftest import print_report
+
+
+def test_table3_regeneration(benchmark):
+    records = benchmark(table3_records, True)
+    print_report(
+        "Table 3: resource utilisation on Zynq XC7Z020 (published vs analytical model)",
+        format_records(records),
+    )
+
+    estimator = ResourceEstimator()
+    for (layer, n_units), published in PUBLISHED_TABLE3.items():
+        estimate = estimator.estimate(layer, n_units=n_units).resources
+        # DSP counts are exact; LUT/FF within the documented model tolerance.
+        assert estimate.dsp == published.dsp
+        assert estimate.lut == pytest.approx(published.lut, rel=0.45)
+
+
+def test_offload_feasibility_sweep(benchmark):
+    """Time the Section-3.2 feasibility reasoning over all combinations."""
+
+    estimator = ResourceEstimator()
+
+    def feasibility():
+        return {
+            "layer1": estimator.estimate("layer1", 16).fits(),
+            "layer2_2": estimator.estimate("layer2_2", 16).fits(),
+            "layer1+layer2_2": estimator.estimate_combination(["layer1", "layer2_2"], 16).fits(ZYNQ_XC7Z020),
+            "layer3_2": estimator.estimate("layer3_2", 16).fits(),
+        }
+
+    result = benchmark(feasibility)
+    assert all(result.values())

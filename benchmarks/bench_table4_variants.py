@@ -1,0 +1,52 @@
+"""Benchmark / regeneration of Table 4: variant structures.
+
+Regenerates the stacked-blocks / executions-per-block table for every
+architecture and depth, and validates the execution-budget invariant the
+rODENet construction relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_records, table4_records
+from repro.core import SUPPORTED_DEPTHS, VARIANT_NAMES, variant_spec
+
+from conftest import print_report
+
+#: Table 4 cells for N=56 (stacked / executions), spot-checked below.
+PAPER_TABLE4_N56 = {
+    ("layer1", "ResNet"): "9 / 1",
+    ("layer1", "ODENet"): "1 / 9",
+    ("layer1", "rODENet-1"): "1 / 25",
+    ("layer2_2", "rODENet-2"): "1 / 24",
+    ("layer1", "rODENet-1+2"): "1 / 13",
+    ("layer2_2", "rODENet-1+2"): "1 / 12",
+    ("layer3_2", "rODENet-3"): "1 / 24",
+    ("layer3_2", "Hybrid-3"): "1 / 8",
+    ("layer2_2", "rODENet-3"): "0 / 0",
+}
+
+
+def test_table4_regeneration(benchmark):
+    records = benchmark(table4_records, 56)
+    print_report("Table 4: network structure of ResNet, ODENet and rODENet variants (N=56)", format_records(records))
+
+    by_layer = {r["layer"]: r for r in records}
+    for (layer, variant), expected in PAPER_TABLE4_N56.items():
+        assert by_layer[layer][variant] == expected
+
+
+def test_execution_budget_invariant(benchmark):
+    """All variants execute the same number of building blocks as ResNet-N."""
+
+    def check_all():
+        results = {}
+        for depth in SUPPORTED_DEPTHS:
+            baseline = variant_spec("ResNet", depth).total_block_executions
+            for name in VARIANT_NAMES:
+                results[(name, depth)] = variant_spec(name, depth).total_block_executions == baseline
+        return results
+
+    results = benchmark(check_all)
+    assert all(results.values())

@@ -1,0 +1,69 @@
+"""Benchmark / regeneration of Table 5: execution times and overall speedup.
+
+Regenerates all 28 rows (7 models x 4 depths) of Table 5 from the calibrated
+PS software model, the PL cycle model and the AXI transfer assumption, prints
+them next to the published times, and asserts the headline comparisons.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_records
+from repro.core import ExecutionTimeModel, TABLE5_MODELS
+
+from conftest import print_report
+
+#: Published Table 5 anchors: (model, N) -> (total w/o PL, total speedup).
+PAPER_TABLE5_ANCHORS = {
+    ("ResNet", 20): (0.54, None),
+    ("ResNet", 56): (1.58, None),
+    ("rODENet-1", 56): (1.67, 2.45),
+    ("rODENet-2", 56): (1.52, 2.40),
+    ("rODENet-1+2", 56): (1.60, 2.52),
+    ("rODENet-3", 20): (0.54, 1.85),
+    ("rODENet-3", 56): (1.57, 2.66),
+    ("ODENet-3", 56): (1.60, 1.26),
+    ("Hybrid-3", 20): (0.53, 1.19),
+    ("Hybrid-3", 56): (1.56, 1.27),
+}
+
+
+def test_table5_regeneration(benchmark):
+    model = ExecutionTimeModel(n_units=16)
+
+    def build_rows():
+        rows = []
+        for report in model.table5():
+            rows.append(
+                {
+                    "model": report.model,
+                    "N": report.depth,
+                    "offload": "/".join(report.offload_targets) or "-",
+                    "total_wo_PL_s": round(report.total_without_pl, 3),
+                    "target_wo_PL_s": " / ".join(f"{t:.2f}" for t in report.target_without_pl) or "-",
+                    "ratio_%": " / ".join(f"{t:.1f}" for t in report.target_ratio_percent) or "-",
+                    "target_w_PL_s": " / ".join(f"{t:.2f}" for t in report.target_with_pl) or "-",
+                    "total_w_PL_s": round(report.total_with_pl, 3),
+                    "speedup": round(report.overall_speedup, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark(build_rows)
+    print_report("Table 5: execution time of ResNet, ODENet and rODENet variants", format_records(rows))
+
+    by_key = {(r["model"], r["N"]): r for r in rows}
+    for key, (total, speedup) in PAPER_TABLE5_ANCHORS.items():
+        assert by_key[key]["total_wo_PL_s"] == pytest.approx(total, rel=0.08)
+        if speedup is not None:
+            assert by_key[key]["speedup"] == pytest.approx(speedup, rel=0.08)
+
+
+def test_headline_speedup(benchmark):
+    """Abstract / Section 4.4: up to 2.66x (2.67x vs software ResNet-56)."""
+
+    model = ExecutionTimeModel(n_units=16)
+    speedup = benchmark(lambda: model.report("rODENet-3", 56).overall_speedup)
+    assert speedup == pytest.approx(2.66, abs=0.05)
+    assert model.speedup_vs_resnet("rODENet-3", 56) == pytest.approx(2.67, rel=0.05)

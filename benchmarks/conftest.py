@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper (or one
+ablation) and prints it next to the published values, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's evaluation section end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_report(title: str, body: str) -> None:
+    """Print a benchmark's regenerated table under a visible banner."""
+
+    print()
+    print("#" * 78)
+    print(f"# {title}")
+    print("#" * 78)
+    print(body)

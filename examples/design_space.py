@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Design-space exploration across variants, depths, parallelism and word length.
+
+The paper evaluates one design point in detail (rODENet-3-N with conv_x16 and
+32-bit Q20).  This example uses the analytical models to sweep the wider
+design space a deployment engineer would care about:
+
+* every architecture and depth: parameter size, modelled accuracy, modelled
+  prediction time with its paper offload target, and overall speedup;
+* for the best trade-off (rODENet-3), the MAC-unit parallelism sweep and the
+  word-length sweep, including whether multiple layers could share the PL.
+
+Run:  python examples/design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import accuracy_model, format_records
+from repro.core import (
+    SUPPORTED_DEPTHS,
+    ExecutionTimeModel,
+    OffloadPlanner,
+    PAPER_OFFLOAD_TARGETS,
+    TABLE5_MODELS,
+    variant_parameter_bytes,
+)
+from repro.fixedpoint import Q8, Q12, Q16, Q20
+from repro.fpga import ZYNQ_XC7Z020, plan_block_allocation
+from repro.fpga.geometry import LAYER1, LAYER2_2, LAYER3_2
+
+
+def sweep_architectures() -> None:
+    print("=== Architecture / depth sweep (parameter size, accuracy, speedup) ===")
+    exec_model = ExecutionTimeModel(n_units=16)
+    rows = []
+    for name in TABLE5_MODELS:
+        variant = "ODENet" if name == "ODENet-3" else name
+        for depth in SUPPORTED_DEPTHS:
+            report = exec_model.report(name, depth)
+            acc = accuracy_model(variant, depth)
+            rows.append(
+                {
+                    "model": f"{name}-{depth}",
+                    "params_MB": round(variant_parameter_bytes(variant, depth) / 1e6, 2),
+                    "cifar100_acc_%": acc.accuracy_percent,
+                    "stable": acc.stable,
+                    "offload": "/".join(report.offload_targets) or "-",
+                    "time_w_PL_s": round(report.total_with_pl, 2),
+                    "speedup": round(report.overall_speedup, 2),
+                }
+            )
+    print(format_records(rows))
+
+
+def sweep_parallelism() -> None:
+    print("\n=== rODENet-3-56: MAC-unit parallelism sweep ===")
+    planner = OffloadPlanner()
+    rows = []
+    for n in (1, 2, 4, 8, 16, 32):
+        decision = planner.plan("rODENet-3", 56, n_units=n)
+        rows.append(
+            {
+                "n_units": n,
+                "speedup": round(decision.expected_speedup, 2),
+                "dsp": decision.resources.dsp,
+                "fits": decision.fits_device,
+                "meets_100MHz": decision.meets_timing,
+            }
+        )
+    print(format_records(rows))
+    best = planner.max_feasible_parallelism(("layer3_2",))
+    print(f"  -> largest feasible parallelism for layer3_2: conv_x{best} (the paper uses conv_x16)")
+
+
+def sweep_wordlength() -> None:
+    print("\n=== Word-length sweep (footnote 2): can more layers share the PL? ===")
+    rows = []
+    for fmt in (Q20, Q16, Q12, Q8):
+        tiles = {
+            geom.name: plan_block_allocation(geom, n_units=16, qformat=fmt).total_tiles
+            for geom in (LAYER1, LAYER2_2, LAYER3_2)
+        }
+        rows.append(
+            {
+                "format": fmt.name,
+                "layer1+layer2_2_fit": tiles["layer1"] + tiles["layer2_2"] <= ZYNQ_XC7Z020.bram36,
+                "layer1+layer3_2_fit": tiles["layer1"] + tiles["layer3_2"] <= ZYNQ_XC7Z020.bram36,
+                "all_three_fit": sum(tiles.values()) <= ZYNQ_XC7Z020.bram36,
+                "total_bram": sum(tiles.values()),
+            }
+        )
+    print(format_records(rows))
+
+
+def main() -> None:
+    sweep_architectures()
+    sweep_parallelism()
+    sweep_wordlength()
+    print(
+        "\nSummary: rODENet-3 keeps the accuracy/stability of the deeper variants with a\n"
+        "~5x parameter reduction and the best end-to-end speedup once layer3_2 is on the\n"
+        "PL part — the same conclusion the paper draws in Section 4.4."
+    )
+
+
+if __name__ == "__main__":
+    main()

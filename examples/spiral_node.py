@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Classic Neural-ODE spiral regression with the adjoint method.
+
+This is the standard sanity task from the Neural ODE literature (Chen et al.,
+2018), included here to demonstrate the :mod:`repro.ode` substrate on its
+own: fit the dynamics of a 2-D spiral from sampled trajectory points, train
+with the constant-memory adjoint method (Equation 9 of the paper), and
+compare solvers.
+
+Run:  python examples/spiral_node.py [--iterations 150]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.nn import Adam, MSELoss, Tensor
+from repro.nn.layers import Linear, Module, Parameter
+from repro.ode import get_solver, odeint, odeint_adjoint
+
+
+class SpiralDynamics(Module):
+    """A small MLP modelling dz/dt for the 2-D spiral."""
+
+    def __init__(self, hidden: int = 24, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(2, hidden, rng=rng)
+        self.fc2 = Linear(hidden, 2, rng=rng)
+
+    def forward(self, z: Tensor, t: float = 0.0) -> Tensor:
+        return self.fc2(self.fc1(z).tanh())
+
+
+def true_spiral(t: np.ndarray, z0=np.array([2.0, 0.0])) -> np.ndarray:
+    """Ground-truth trajectory of dz/dt = A z with a slightly decaying rotation."""
+
+    A = np.array([[-0.1, 2.0], [-2.0, -0.1]])
+    eigenvalues, eigenvectors = np.linalg.eig(A)
+    coefficients = np.linalg.solve(eigenvectors, z0.astype(complex))
+    states = [
+        (eigenvectors @ (coefficients * np.exp(eigenvalues * ti))).real for ti in t
+    ]
+    return np.stack(states)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=120)
+    parser.add_argument("--time-points", type=int, default=16)
+    parser.add_argument("--lr", type=float, default=0.02)
+    args = parser.parse_args()
+
+    times = np.linspace(0.0, 3.0, args.time_points)
+    target = true_spiral(times)
+    z0 = Tensor(target[0:1].copy())
+
+    dynamics = SpiralDynamics()
+    params = dynamics.parameters()
+    optimizer = Adam(params, lr=args.lr)
+    criterion = MSELoss()
+
+    print("Training the spiral Neural ODE with adjoint gradients (Euler, 40 steps)...")
+    for iteration in range(1, args.iterations + 1):
+        optimizer.zero_grad()
+        z_final = odeint_adjoint(
+            dynamics, z0, float(times[0]), float(times[-1]), num_steps=40, params=params, method="rk4"
+        )
+        # Supervise only the final state plus a mid-point for a quick demo.
+        mid = odeint_adjoint(
+            dynamics, z0, float(times[0]), float(times[len(times) // 2]), num_steps=20, params=params, method="rk4"
+        )
+        loss = criterion(z_final, target[-1:]) + criterion(mid, target[len(times) // 2 : len(times) // 2 + 1])
+        loss.backward()
+        optimizer.step()
+        if iteration % 20 == 0 or iteration == 1:
+            print(f"  iter {iteration:4d}  loss = {loss.item():.5f}")
+
+    print("\nEvaluating the learned dynamics with different prediction solvers:")
+    reference = true_spiral(times)
+    for method, steps in (("euler", 1), ("euler", 8), ("rk4", 4)):
+        predicted = odeint(
+            lambda z, t: dynamics(Tensor(z)).data, reference[0:1].copy(), times,
+            method=method, steps_per_interval=steps,
+        )
+        error = float(np.sqrt(np.mean((predicted[:, 0, :] - reference) ** 2)))
+        print(f"  {method:8s} steps/interval={steps}  trajectory RMSE = {error:.4f}")
+
+    print(
+        "\nThe coarse Euler configuration mirrors the paper's low-latency prediction\n"
+        "mode; RK4 trades ~4x the dynamics evaluations for a closer trajectory."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — reproduction of "Accelerating ODE-Based Neural Networks on Low-Cost FPGAs".
+
+The package is organised as the paper's system is:
+
+* :mod:`repro.core` — the contribution: ODEBlocks, the rODENet variants
+  (Table 4), executable network builders, the parameter-size model
+  (Table 2 / Figure 5), the execution-time model (Table 5) and the offload
+  planner.
+* :mod:`repro.nn` — NumPy autograd CNN substrate (the PyTorch stand-in).
+* :mod:`repro.ode` — ODE solvers (Euler / RK2 / RK4 / adaptive) and the
+  adjoint method (the torchdiffeq stand-in).
+* :mod:`repro.fixedpoint` — 32-bit Q20 fixed-point arithmetic.
+* :mod:`repro.fpga` — the simulated PYNQ-Z2 / Zynq XC7Z020: cycle model,
+  resource model, timing model, AXI transfers, and a bit-accurate fixed-point
+  ODEBlock engine.
+* :mod:`repro.hwsw` — PS software cost model and the hardware/software
+  co-execution runtime.
+* :mod:`repro.data`, :mod:`repro.train` — dataset and training substrates.
+* :mod:`repro.analysis` — regeneration of every table and figure.
+"""
+
+from . import analysis, core, data, fixedpoint, fpga, hwsw, nn, ode, train
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "nn",
+    "ode",
+    "fixedpoint",
+    "fpga",
+    "hwsw",
+    "data",
+    "train",
+    "analysis",
+    "__version__",
+]

@@ -1,0 +1,62 @@
+"""Series generators for the paper's figures.
+
+* Figure 5 — total parameter size of each architecture versus depth N.
+* Figure 6 — CIFAR-100 accuracy of each architecture versus depth N
+  (paper-scale values from the calibrated accuracy model, optionally merged
+  with measured small-scale proxy results from the functional training path).
+
+Both functions return ``{variant -> {N -> value}}`` mappings, which
+:func:`repro.analysis.report.format_series` renders as text and the
+benchmarks consume directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..core.parameter_model import parameter_size_series
+from ..core.variants import SUPPORTED_DEPTHS, VARIANT_NAMES
+from .accuracy_model import figure6_series as _paper_accuracy_series
+
+__all__ = ["figure5_series", "figure6_series", "merge_measured_accuracy"]
+
+
+def figure5_series(
+    variants: Sequence[str] = VARIANT_NAMES,
+    depths: Sequence[int] = SUPPORTED_DEPTHS,
+) -> Dict[str, Dict[int, float]]:
+    """Parameter size (kB) per architecture and depth — the Figure 5 data."""
+
+    return parameter_size_series(variants, depths)
+
+
+def figure6_series(paper_only: bool = False) -> Dict[str, Dict[int, float]]:
+    """Paper-scale accuracy (%) per architecture and depth — the Figure 6 data."""
+
+    return _paper_accuracy_series(paper_only=paper_only)
+
+
+def merge_measured_accuracy(
+    measured: Mapping[str, Mapping[int, float]],
+    paper_only: bool = False,
+) -> Dict[str, Dict[int, Dict[str, Optional[float]]]]:
+    """Combine modelled paper-scale accuracy with measured proxy accuracy.
+
+    ``measured`` maps variant -> depth -> accuracy (fraction or percent) from
+    a small-scale functional run.  The result maps variant -> depth ->
+    ``{"paper": ..., "measured": ...}`` so EXPERIMENTS.md-style comparisons
+    can be generated programmatically.
+    """
+
+    paper = figure6_series(paper_only=paper_only)
+    merged: Dict[str, Dict[int, Dict[str, Optional[float]]]] = {}
+    variants = set(paper) | set(measured)
+    for variant in variants:
+        merged[variant] = {}
+        depths = set(paper.get(variant, {})) | set(measured.get(variant, {}))
+        for depth in sorted(depths):
+            merged[variant][depth] = {
+                "paper": paper.get(variant, {}).get(depth),
+                "measured": measured.get(variant, {}).get(depth),
+            }
+    return merged

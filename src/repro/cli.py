@@ -1,0 +1,175 @@
+"""Command-line interface for regenerating the paper's results.
+
+Installed as the ``repro-odenet`` console script (see pyproject.toml), or run
+as ``python -m repro.cli``.  Sub-commands map one-to-one onto the paper's
+tables/figures plus the offload/energy/training design tools:
+
+============  ==========================================================
+sub-command    output
+============  ==========================================================
+table1         PYNQ-Z2 board specification
+table2         ODENet layer structure and parameter sizes
+table3         FPGA resource utilisation (published vs model)
+table4         variant structures for a chosen depth
+table5         execution times and speedups
+figure5        parameter size vs depth series
+figure6        accuracy vs depth series (paper-scale model)
+offload        offload plan for one architecture (resources/timing/speedup)
+energy         per-prediction energy with vs without the PL offload
+training       projected training cost (future-work analysis)
+============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    accuracy_table,
+    figure5_series,
+    figure6_series,
+    format_records,
+    format_series,
+    table1_records,
+    table2_records,
+    table3_records,
+    table4_records,
+    table5_records,
+)
+from .core import ExecutionTimeModel, OffloadPlanner, SUPPORTED_DEPTHS, VARIANT_NAMES
+from .core.training_model import TrainingTimeModel
+from .fpga.power import PowerModel
+from .fpga.resources import ResourceEstimator
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the repro CLI."""
+
+    parser = argparse.ArgumentParser(
+        prog="repro-odenet",
+        description="Regenerate results of 'Accelerating ODE-Based Neural Networks on Low-Cost FPGAs'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="PYNQ-Z2 board specification")
+    sub.add_parser("table2", help="ODENet layer structure / parameter sizes")
+
+    p3 = sub.add_parser("table3", help="FPGA resource utilisation")
+    p3.add_argument("--no-estimates", action="store_true", help="omit the analytical model columns")
+
+    p4 = sub.add_parser("table4", help="variant structures")
+    p4.add_argument("--depth", type=int, default=56, choices=SUPPORTED_DEPTHS)
+
+    p5 = sub.add_parser("table5", help="execution times and speedups")
+    p5.add_argument("--depth", type=int, default=None, choices=SUPPORTED_DEPTHS)
+    p5.add_argument("--n-units", type=int, default=16, help="MAC units of the PL design")
+
+    sub.add_parser("figure5", help="parameter size vs depth")
+
+    p6 = sub.add_parser("figure6", help="accuracy vs depth (paper-scale model)")
+    p6.add_argument("--paper-only", action="store_true", help="only values quoted verbatim by the paper")
+    p6.add_argument("--points", action="store_true", help="list every point with its source")
+
+    po = sub.add_parser("offload", help="offload plan for one architecture")
+    po.add_argument("model", choices=list(VARIANT_NAMES) + ["ODENet-3"])
+    po.add_argument("--depth", type=int, default=56, choices=SUPPORTED_DEPTHS)
+    po.add_argument("--n-units", type=int, default=16)
+
+    pe = sub.add_parser("energy", help="per-prediction energy with vs without the PL")
+    pe.add_argument("model", choices=list(VARIANT_NAMES) + ["ODENet-3"])
+    pe.add_argument("--depth", type=int, default=56, choices=SUPPORTED_DEPTHS)
+    pe.add_argument("--n-units", type=int, default=16)
+
+    pt = sub.add_parser("training", help="projected training cost (future work)")
+    pt.add_argument("--depth", type=int, default=56, choices=SUPPORTED_DEPTHS)
+    pt.add_argument("--models", nargs="*", default=["ResNet", "rODENet-3"])
+
+    return parser
+
+
+def _cmd_table5(args) -> str:
+    depths = (args.depth,) if args.depth else SUPPORTED_DEPTHS
+    return format_records(table5_records(depths=depths, n_units=args.n_units), title="Table 5")
+
+
+def _cmd_offload(args) -> str:
+    planner = OffloadPlanner(n_units=args.n_units)
+    decision = planner.plan(args.model, args.depth, n_units=args.n_units)
+    lines = [f"Offload plan for {args.model}-{args.depth} (conv_x{args.n_units})"]
+    lines.append(f"  targets          : {', '.join(decision.targets) or '(none)'}")
+    lines.append(f"  PL resources     : {decision.resources.as_dict()}")
+    lines.append(f"  fits XC7Z020     : {decision.fits_device}")
+    lines.append(f"  meets 100 MHz    : {decision.meets_timing}")
+    lines.append(f"  expected speedup : {decision.expected_speedup:.2f}x")
+    return "\n".join(lines)
+
+
+def _cmd_energy(args) -> str:
+    execution = ExecutionTimeModel(n_units=args.n_units)
+    planner = OffloadPlanner(n_units=args.n_units, execution_model=execution)
+    decision = planner.plan(args.model, args.depth, n_units=args.n_units)
+    power = PowerModel(execution_model=execution)
+    comparison = power.compare(args.model, args.depth, decision.resources)
+    records = [comparison]
+    return format_records(records, title=f"Energy per prediction: {args.model}-{args.depth}")
+
+
+def _cmd_training(args) -> str:
+    model = TrainingTimeModel()
+    rows = []
+    for name in args.models:
+        report = model.report(name, args.depth)
+        row = report.as_dict()
+        projections = model.epoch_table((name,), args.depth)[name]
+        row.update({k: round(v, 3) for k, v in projections.items()})
+        rows.append(row)
+    return format_records(rows, title=f"Projected training cost at N={args.depth} (future-work model)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        output = format_records(table1_records(), title="Table 1: PYNQ-Z2 specification")
+    elif args.command == "table2":
+        output = format_records(table2_records(), title="Table 2: ODENet structure")
+    elif args.command == "table3":
+        output = format_records(
+            table3_records(include_estimates=not args.no_estimates), title="Table 3: resource utilisation"
+        )
+    elif args.command == "table4":
+        output = format_records(table4_records(args.depth), title=f"Table 4 (N={args.depth})")
+    elif args.command == "table5":
+        output = _cmd_table5(args)
+    elif args.command == "figure5":
+        output = format_series(figure5_series(), title="Figure 5: parameter size [kB]")
+    elif args.command == "figure6":
+        if args.points:
+            output = format_records(accuracy_table(), title="Figure 6 points")
+        else:
+            output = format_series(
+                figure6_series(paper_only=args.paper_only), title="Figure 6: accuracy [%]"
+            )
+    elif args.command == "offload":
+        output = _cmd_offload(args)
+    elif args.command == "energy":
+        output = _cmd_energy(args)
+    elif args.command == "training":
+        output = _cmd_training(args)
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command}")
+        return 2
+
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""The paper's contribution: ODENet / rODENet variants and their FPGA offload.
+
+This package contains the architecture specifications of Table 4, executable
+network builders, the ODEBlock (block-as-ODE-dynamics) module, the analytical
+parameter-size model (Table 2 / Figure 5), the end-to-end execution-time
+model (Table 5) and the offload planner (Section 3.2).
+"""
+
+from .architectures import OdeNetConfig, OdeNetModel, build_network, count_block_executions
+from .execution_model import (
+    PAPER_OFFLOAD_TARGETS,
+    TABLE5_MODELS,
+    ExecutionTimeModel,
+    ExecutionTimeReport,
+    LayerTimeEntry,
+)
+from .network_spec import (
+    INPUT_CHANNELS,
+    INPUT_SIZE,
+    LAYER_ORDER,
+    NETWORK_LAYERS,
+    NUM_CLASSES,
+    OFFLOADABLE_LAYER_NAMES,
+    LayerGeometry,
+    layer_geometry,
+)
+from .odeblock import ODEBlock, ODEBlockFunction, PlainBlock
+from .offload import OffloadDecision, OffloadPlanner
+from .parameter_model import (
+    figure5_series,
+    parameter_reduction_percent,
+    parameter_size_series,
+    table2_structure,
+    variant_parameter_bytes,
+    variant_parameter_count,
+)
+from .training_model import TrainingCostConfig, TrainingTimeModel, TrainingTimeReport
+from .variants import (
+    SUPPORTED_DEPTHS,
+    VARIANT_NAMES,
+    BlockRealization,
+    LayerPlan,
+    VariantSpec,
+    all_variant_specs,
+    table4_rows,
+    variant_spec,
+)
+
+__all__ = [
+    "ODEBlock",
+    "ODEBlockFunction",
+    "PlainBlock",
+    "OdeNetModel",
+    "OdeNetConfig",
+    "build_network",
+    "count_block_executions",
+    "VariantSpec",
+    "LayerPlan",
+    "BlockRealization",
+    "VARIANT_NAMES",
+    "SUPPORTED_DEPTHS",
+    "variant_spec",
+    "all_variant_specs",
+    "table4_rows",
+    "LayerGeometry",
+    "layer_geometry",
+    "NETWORK_LAYERS",
+    "LAYER_ORDER",
+    "OFFLOADABLE_LAYER_NAMES",
+    "NUM_CLASSES",
+    "INPUT_CHANNELS",
+    "INPUT_SIZE",
+    "table2_structure",
+    "variant_parameter_count",
+    "variant_parameter_bytes",
+    "parameter_size_series",
+    "parameter_reduction_percent",
+    "figure5_series",
+    "ExecutionTimeModel",
+    "ExecutionTimeReport",
+    "LayerTimeEntry",
+    "PAPER_OFFLOAD_TARGETS",
+    "TABLE5_MODELS",
+    "OffloadPlanner",
+    "OffloadDecision",
+    "TrainingTimeModel",
+    "TrainingTimeReport",
+    "TrainingCostConfig",
+]

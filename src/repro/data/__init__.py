@@ -1,0 +1,18 @@
+"""Dataset substrate: synthetic CIFAR-100 substitute, real-CIFAR loader, batching."""
+
+from .augment import random_crop, random_horizontal_flip, standard_cifar_augment
+from .cifar import cifar100_available, load_cifar100
+from .loader import DataLoader
+from .synthetic import SyntheticDataset, make_synthetic_cifar, train_test_split
+
+__all__ = [
+    "SyntheticDataset",
+    "make_synthetic_cifar",
+    "train_test_split",
+    "cifar100_available",
+    "load_cifar100",
+    "DataLoader",
+    "random_crop",
+    "random_horizontal_flip",
+    "standard_cifar_augment",
+]

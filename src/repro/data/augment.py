@@ -1,0 +1,54 @@
+"""Data augmentation used by the CIFAR training recipe.
+
+The standard CIFAR augmentation — 4-pixel zero padding followed by a random
+32x32 crop, plus random horizontal flips — is what ResNet-style training
+recipes (including the paper's baselines) rely on.  The functions operate on
+NCHW batches of NumPy arrays and are fully seeded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["random_crop", "random_horizontal_flip", "standard_cifar_augment"]
+
+
+def random_crop(
+    images: np.ndarray, padding: int = 4, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Randomly crop each image after zero-padding ``padding`` pixels per side."""
+
+    rng = rng or np.random.default_rng()
+    n, c, h, w = images.shape
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    out = np.empty_like(images)
+    tops = rng.integers(0, 2 * padding + 1, size=n)
+    lefts = rng.integers(0, 2 * padding + 1, size=n)
+    for i in range(n):
+        out[i] = padded[i, :, tops[i] : tops[i] + h, lefts[i] : lefts[i] + w]
+    return out
+
+
+def random_horizontal_flip(
+    images: np.ndarray, probability: float = 0.5, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Flip each image horizontally with the given probability."""
+
+    rng = rng or np.random.default_rng()
+    flips = rng.random(images.shape[0]) < probability
+    out = images.copy()
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+def standard_cifar_augment(
+    images: np.ndarray, rng: Optional[np.random.Generator] = None, padding: int = 4
+) -> np.ndarray:
+    """Pad-crop followed by random horizontal flip (the usual CIFAR recipe)."""
+
+    rng = rng or np.random.default_rng()
+    return random_horizontal_flip(random_crop(images, padding=padding, rng=rng), rng=rng)

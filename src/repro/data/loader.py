@@ -1,0 +1,69 @@
+"""Mini-batch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .augment import standard_cifar_augment
+from .synthetic import SyntheticDataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate over a dataset in shuffled mini-batches.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to iterate (images + integer labels).
+    batch_size:
+        Mini-batch size; the final partial batch is kept by default.
+    shuffle:
+        Reshuffle the sample order at the start of every epoch.
+    augment:
+        Apply the standard CIFAR pad-crop / flip augmentation to each batch.
+    drop_last:
+        Drop the final batch when it is smaller than ``batch_size``.
+    seed:
+        Seed of the shuffling / augmentation RNG (reproducible epochs).
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        augment: bool = False,
+        drop_last: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.augment = augment
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            images = self.dataset.images[idx]
+            labels = self.dataset.labels[idx]
+            if self.augment:
+                images = standard_cifar_augment(images, rng=self._rng)
+            yield images, labels

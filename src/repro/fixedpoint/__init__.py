@@ -1,0 +1,21 @@
+"""Fixed-point arithmetic substrate (the paper's 32-bit Q20 datapath format)."""
+
+from . import arithmetic
+from .errors import QuantizationReport, analyze_quantization, sqnr_db, sweep_wordlengths
+from .fxarray import FxArray
+from .qformat import Q8, Q12, Q16, Q20, OverflowMode, QFormat
+
+__all__ = [
+    "QFormat",
+    "OverflowMode",
+    "Q20",
+    "Q16",
+    "Q12",
+    "Q8",
+    "FxArray",
+    "arithmetic",
+    "QuantizationReport",
+    "analyze_quantization",
+    "sweep_wordlengths",
+    "sqnr_db",
+]

@@ -1,0 +1,172 @@
+"""Integer fixed-point arithmetic primitives.
+
+These model the datapath operators instantiated on the PL part of the FPGA:
+multiply-add units (convolution and ReLU steps), and the divide and
+square-root units used by the batch-normalisation step to compute the mean,
+variance and standard deviation (Section 3.1).  All functions operate on the
+*integer* representation (as :func:`QFormat.to_fixed` produces) and return
+integer representations, so rounding/overflow behaviour matches a hardware
+implementation rather than floating point.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .qformat import OverflowMode, QFormat
+
+__all__ = [
+    "fx_add",
+    "fx_sub",
+    "fx_mul",
+    "fx_mac",
+    "fx_div",
+    "fx_sqrt",
+    "fx_relu",
+    "fx_mean",
+    "fx_var",
+]
+
+IntArray = Union[int, np.ndarray]
+
+
+def _apply_overflow(values: np.ndarray, fmt: QFormat, mode: str) -> np.ndarray:
+    if mode == OverflowMode.SATURATE:
+        return np.clip(values, fmt.min_int, fmt.max_int)
+    if mode == OverflowMode.WRAP:
+        span = 1 << fmt.word_length
+        return np.mod(values - fmt.min_int, span) + fmt.min_int
+    raise ValueError(f"unknown overflow mode '{mode}'")
+
+
+def fx_add(a: IntArray, b: IntArray, fmt: QFormat, mode: str = OverflowMode.SATURATE) -> np.ndarray:
+    """Fixed-point addition."""
+
+    result = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+    return _apply_overflow(result, fmt, mode)
+
+
+def fx_sub(a: IntArray, b: IntArray, fmt: QFormat, mode: str = OverflowMode.SATURATE) -> np.ndarray:
+    """Fixed-point subtraction."""
+
+    result = np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+    return _apply_overflow(result, fmt, mode)
+
+
+def fx_mul(a: IntArray, b: IntArray, fmt: QFormat, mode: str = OverflowMode.SATURATE) -> np.ndarray:
+    """Fixed-point multiplication with truncation of the extra fraction bits.
+
+    A hardware multiplier produces a double-width product; shifting right by
+    ``fraction_bits`` renormalises it.  An arithmetic right shift truncates
+    toward negative infinity, which is what a simple DSP48-based datapath
+    does.
+    """
+
+    product = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    result = product >> fmt.fraction_bits
+    return _apply_overflow(result, fmt, mode)
+
+
+def fx_mac(
+    acc: IntArray,
+    a: IntArray,
+    b: IntArray,
+    fmt: QFormat,
+    mode: str = OverflowMode.SATURATE,
+) -> np.ndarray:
+    """Multiply-accumulate: ``acc + a*b`` (one clock of a MAC unit)."""
+
+    return fx_add(acc, fx_mul(a, b, fmt, mode), fmt, mode)
+
+
+def fx_div(a: IntArray, b: IntArray, fmt: QFormat, mode: str = OverflowMode.SATURATE) -> np.ndarray:
+    """Fixed-point division (used to normalise by the standard deviation)."""
+
+    a64 = np.asarray(a, dtype=np.int64)
+    b64 = np.asarray(b, dtype=np.int64)
+    if np.any(b64 == 0):
+        raise ZeroDivisionError("fixed-point division by zero")
+    numerator = a64 << fmt.fraction_bits
+    # Truncating integer division toward zero, like a restoring divider.
+    result = (np.sign(numerator) * np.sign(b64)) * (np.abs(numerator) // np.abs(b64))
+    return _apply_overflow(result, fmt, mode)
+
+
+def fx_sqrt(a: IntArray, fmt: QFormat) -> np.ndarray:
+    """Fixed-point square root via integer Newton iteration.
+
+    Models the square-root unit of the batch-normalisation datapath.  The
+    input must be non-negative (it is a variance plus epsilon).  The result
+    satisfies ``|sqrt_fx(x) - sqrt(x)| <= resolution`` for representable x.
+    """
+
+    a64 = np.atleast_1d(np.asarray(a, dtype=np.int64))
+    if np.any(a64 < 0):
+        raise ValueError("fx_sqrt requires non-negative inputs")
+    # sqrt(v / S) * S == sqrt(v * S); compute integer sqrt of (v << f).
+    radicand = a64.astype(object) << fmt.fraction_bits  # python ints: no overflow
+    result = np.empty_like(a64)
+    flat_rad = radicand.reshape(-1)
+    flat_res = result.reshape(-1)
+    for i, value in enumerate(flat_rad):
+        flat_res[i] = _isqrt(int(value))
+    out = _apply_overflow(result, fmt, OverflowMode.SATURATE)
+    if np.isscalar(a) or np.asarray(a).ndim == 0:
+        return out.reshape(()).astype(np.int64)
+    return out.reshape(np.asarray(a).shape)
+
+
+def _isqrt(value: int) -> int:
+    """Integer square root (floor)."""
+
+    if value < 0:
+        raise ValueError("negative value")
+    return int(np.floor(np.sqrt(value))) if value < (1 << 52) else _isqrt_newton(value)
+
+
+def _isqrt_newton(value: int) -> int:
+    x = value
+    y = (x + 1) // 2
+    while y < x:
+        x = y
+        y = (x + value // x) // 2
+    return x
+
+
+def fx_relu(a: IntArray, fmt: QFormat) -> np.ndarray:
+    """Fixed-point ReLU (clamp negatives to zero)."""
+
+    return np.maximum(np.asarray(a, dtype=np.int64), 0)
+
+
+def fx_mean(a: np.ndarray, fmt: QFormat, axis=None) -> np.ndarray:
+    """Fixed-point mean along ``axis`` (sum then divide, as the BN unit does).
+
+    The accumulator is wider than the word length (hardware uses a wide
+    accumulator register); only the final quotient is renormalised to the
+    target format.
+    """
+
+    a64 = np.asarray(a, dtype=np.int64)
+    if axis is None:
+        count = a64.size
+    else:
+        count = int(np.prod([a64.shape[ax] for ax in np.atleast_1d(axis)]))
+    total = a64.sum(axis=axis, dtype=np.int64)
+    # total and the result are both in fixed representation, so a plain
+    # truncating integer division by the (unscaled) element count suffices.
+    result = (np.sign(total)) * (np.abs(total) // count)
+    return _apply_overflow(result, fmt, OverflowMode.SATURATE)
+
+
+def fx_var(a: np.ndarray, fmt: QFormat, axis=None) -> np.ndarray:
+    """Fixed-point (biased) variance along ``axis``."""
+
+    mean = fx_mean(a, fmt, axis=axis)
+    if axis is not None:
+        mean = np.expand_dims(mean, axis=axis)
+    centered = fx_sub(a, mean, fmt)
+    squared = fx_mul(centered, centered, fmt)
+    return fx_mean(squared, fmt, axis=axis)

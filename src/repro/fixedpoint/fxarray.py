@@ -1,0 +1,175 @@
+"""Vectorised fixed-point array type.
+
+:class:`FxArray` wraps an integer NumPy array together with its
+:class:`~repro.fixedpoint.qformat.QFormat` and overloads arithmetic so that
+quantised tensors can be manipulated with normal operator syntax.  It is the
+data type flowing through the simulated PL datapath in
+:mod:`repro.fpga.ops` and :mod:`repro.fpga.odeblock_hw`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from . import arithmetic as fx
+from .qformat import OverflowMode, QFormat, Q20
+
+__all__ = ["FxArray"]
+
+Number = Union[int, float, np.ndarray, "FxArray"]
+
+
+class FxArray:
+    """An n-dimensional fixed-point array."""
+
+    __slots__ = ("raw", "fmt", "overflow")
+
+    def __init__(
+        self,
+        raw: np.ndarray,
+        fmt: QFormat = Q20,
+        overflow: str = OverflowMode.SATURATE,
+    ) -> None:
+        self.raw = np.asarray(raw, dtype=np.int64)
+        self.fmt = fmt
+        self.overflow = overflow
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_float(
+        cls,
+        values,
+        fmt: QFormat = Q20,
+        overflow: str = OverflowMode.SATURATE,
+    ) -> "FxArray":
+        """Quantise floating-point ``values`` into an :class:`FxArray`."""
+
+        return cls(fmt.to_fixed(values, overflow), fmt, overflow)
+
+    @classmethod
+    def zeros(cls, shape, fmt: QFormat = Q20) -> "FxArray":
+        return cls(np.zeros(shape, dtype=np.int64), fmt)
+
+    # -- conversion -------------------------------------------------------------
+
+    def to_float(self) -> np.ndarray:
+        """Dequantise back to float64."""
+
+        return self.fmt.to_float(self.raw)
+
+    def astype(self, fmt: QFormat) -> "FxArray":
+        """Re-quantise to another format (via the real value)."""
+
+        return FxArray.from_float(self.to_float(), fmt, self.overflow)
+
+    # -- array protocol ----------------------------------------------------------
+
+    @property
+    def shape(self):
+        return self.raw.shape
+
+    @property
+    def size(self) -> int:
+        return self.raw.size
+
+    @property
+    def ndim(self) -> int:
+        return self.raw.ndim
+
+    def reshape(self, *shape) -> "FxArray":
+        return FxArray(self.raw.reshape(*shape), self.fmt, self.overflow)
+
+    def __getitem__(self, index) -> "FxArray":
+        return FxArray(np.asarray(self.raw[index]), self.fmt, self.overflow)
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FxArray(shape={self.shape}, fmt={self.fmt.name})"
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _coerce(self, other: Number) -> np.ndarray:
+        if isinstance(other, FxArray):
+            if other.fmt != self.fmt:
+                raise ValueError(
+                    f"format mismatch: {self.fmt.name} vs {other.fmt.name}"
+                )
+            return other.raw
+        return self.fmt.to_fixed(other, self.overflow)
+
+    # -- arithmetic ------------------------------------------------------------------
+
+    def __add__(self, other: Number) -> "FxArray":
+        return FxArray(fx.fx_add(self.raw, self._coerce(other), self.fmt, self.overflow), self.fmt, self.overflow)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "FxArray":
+        return FxArray(fx.fx_sub(self.raw, self._coerce(other), self.fmt, self.overflow), self.fmt, self.overflow)
+
+    def __rsub__(self, other: Number) -> "FxArray":
+        return FxArray(fx.fx_sub(self._coerce(other), self.raw, self.fmt, self.overflow), self.fmt, self.overflow)
+
+    def __mul__(self, other: Number) -> "FxArray":
+        return FxArray(fx.fx_mul(self.raw, self._coerce(other), self.fmt, self.overflow), self.fmt, self.overflow)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Number) -> "FxArray":
+        return FxArray(fx.fx_div(self.raw, self._coerce(other), self.fmt, self.overflow), self.fmt, self.overflow)
+
+    def __neg__(self) -> "FxArray":
+        return FxArray(fx.fx_sub(0, self.raw, self.fmt, self.overflow), self.fmt, self.overflow)
+
+    # -- element-wise functions ---------------------------------------------------------
+
+    def relu(self) -> "FxArray":
+        return FxArray(fx.fx_relu(self.raw, self.fmt), self.fmt, self.overflow)
+
+    def sqrt(self) -> "FxArray":
+        return FxArray(fx.fx_sqrt(self.raw, self.fmt), self.fmt, self.overflow)
+
+    def mean(self, axis=None) -> "FxArray":
+        return FxArray(np.asarray(fx.fx_mean(self.raw, self.fmt, axis=axis)), self.fmt, self.overflow)
+
+    def var(self, axis=None) -> "FxArray":
+        return FxArray(np.asarray(fx.fx_var(self.raw, self.fmt, axis=axis)), self.fmt, self.overflow)
+
+    def sum(self, axis=None) -> "FxArray":
+        total = self.raw.sum(axis=axis, dtype=np.int64)
+        clipped = np.clip(total, self.fmt.min_int, self.fmt.max_int)
+        return FxArray(np.asarray(clipped), self.fmt, self.overflow)
+
+    def matmul_float(self, weights: np.ndarray) -> "FxArray":
+        """Multiply-accumulate against a float weight matrix.
+
+        The weights are quantised to the array's format first; accumulation
+        happens in a wide accumulator before renormalisation (the DSP48 MAC
+        behaviour).
+        """
+
+        w_fx = self.fmt.to_fixed(weights, self.overflow)
+        acc = self.raw.astype(np.int64) @ w_fx.astype(np.int64).T
+        renorm = acc >> self.fmt.fraction_bits
+        clipped = np.clip(renorm, self.fmt.min_int, self.fmt.max_int)
+        return FxArray(clipped, self.fmt, self.overflow)
+
+    # -- comparisons --------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:  # type: ignore[override]
+        if not isinstance(other, FxArray):
+            return NotImplemented
+        return self.fmt == other.fmt and np.array_equal(self.raw, other.raw)
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("FxArray is unhashable")
+
+    def max_abs_error(self, reference: np.ndarray) -> float:
+        """Maximum absolute error of the dequantised values vs a float reference."""
+
+        return float(np.max(np.abs(self.to_float() - np.asarray(reference))))

@@ -1,0 +1,82 @@
+"""FPGA hardware-model substrate (PYNQ-Z2 / Zynq XC7Z020 simulation).
+
+This package stands in for the physical board and the Vivado toolchain: it
+models the PL-part ODEBlock's fixed-point arithmetic, execution cycles,
+resource utilisation, timing closure, and the PS<->PL AXI transfers, all
+calibrated against the numbers published in the paper.
+"""
+
+from .axi import AxiTransferConfig, AxiTransferModel, TransferEstimate
+from .bram import BRAM36_BYTES, BramPlan, BramRegion, plan_block_allocation, tiles_for_bytes
+from .cycles import (
+    PAPER_LAYER3_2_CYCLES,
+    CycleBreakdown,
+    CycleModelConfig,
+    OdeBlockCycleModel,
+)
+from .device import PYNQ_Z2, ZYNQ_XC7Z020, BoardSpec, FpgaDevice, ResourceVector
+from .geometry import (
+    LAYER1,
+    LAYER2_2,
+    LAYER3_2,
+    OFFLOADABLE_BLOCKS,
+    BlockGeometry,
+    block_geometry,
+)
+from .export import WeightImageHeader, export_block_weights, import_block_weights
+from .odeblock_hw import BlockWeights, HardwareExecutionReport, HardwareODEBlock
+from .ops import hw_batch_norm, hw_conv2d, hw_relu, hw_residual_add
+from .power import EnergyEstimate, PowerModel, PowerModelConfig
+from .resources import PUBLISHED_TABLE3, ResourceEstimate, ResourceEstimator, published_table3
+from .scheduler import DatapathScheduler, ScheduleTrace, UnitTrace
+from .timing import DEFAULT_TIMING_MODEL, TimingModel, TimingModelConfig, TimingReport
+
+__all__ = [
+    "BoardSpec",
+    "FpgaDevice",
+    "ResourceVector",
+    "PYNQ_Z2",
+    "ZYNQ_XC7Z020",
+    "BlockGeometry",
+    "block_geometry",
+    "LAYER1",
+    "LAYER2_2",
+    "LAYER3_2",
+    "OFFLOADABLE_BLOCKS",
+    "BramPlan",
+    "BramRegion",
+    "BRAM36_BYTES",
+    "plan_block_allocation",
+    "tiles_for_bytes",
+    "CycleModelConfig",
+    "CycleBreakdown",
+    "OdeBlockCycleModel",
+    "PAPER_LAYER3_2_CYCLES",
+    "ResourceEstimator",
+    "ResourceEstimate",
+    "PUBLISHED_TABLE3",
+    "published_table3",
+    "TimingModel",
+    "TimingModelConfig",
+    "TimingReport",
+    "DEFAULT_TIMING_MODEL",
+    "AxiTransferModel",
+    "AxiTransferConfig",
+    "TransferEstimate",
+    "hw_conv2d",
+    "hw_batch_norm",
+    "hw_relu",
+    "hw_residual_add",
+    "BlockWeights",
+    "HardwareODEBlock",
+    "HardwareExecutionReport",
+    "DatapathScheduler",
+    "ScheduleTrace",
+    "UnitTrace",
+    "PowerModel",
+    "PowerModelConfig",
+    "EnergyEstimate",
+    "WeightImageHeader",
+    "export_block_weights",
+    "import_block_weights",
+]

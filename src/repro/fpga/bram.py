@@ -1,0 +1,134 @@
+"""Block-RAM allocation model.
+
+The PL-part ODEBlock stores the weight parameters of its two convolutions and
+the input/intermediate/output feature maps in on-chip Block RAM (Section 3.1:
+"Weight parameters θ of the two convolution steps are stored in Block RAM
+(BRAM) of the FPGA. Input and output feature maps for all the channels are
+also stored in the BRAM.").  This module turns byte requirements into BRAM36
+tile counts and produces a named allocation plan that the resource estimator
+and the offload-feasibility check consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Dict, List
+
+from ..fixedpoint.qformat import QFormat, Q20
+from .device import FpgaDevice, ZYNQ_XC7Z020
+from .geometry import BlockGeometry
+
+__all__ = ["BramRegion", "BramPlan", "tiles_for_bytes", "plan_block_allocation"]
+
+
+#: Usable data bytes of one BRAM36 tile (4 KiB of data; the parity bits are
+#: not usable for packed 32-bit words).
+BRAM36_BYTES = 4096
+
+
+def tiles_for_bytes(num_bytes: int, tile_bytes: int = BRAM36_BYTES) -> int:
+    """Number of BRAM36 tiles needed to hold ``num_bytes`` of data."""
+
+    if num_bytes < 0:
+        raise ValueError("num_bytes must be non-negative")
+    if num_bytes == 0:
+        return 0
+    return ceil(num_bytes / tile_bytes)
+
+
+@dataclass(frozen=True)
+class BramRegion:
+    """One named region of the BRAM allocation (e.g. 'conv1 weights')."""
+
+    name: str
+    num_bytes: int
+    tiles: int
+    banks: int = 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"name": self.name, "bytes": self.num_bytes, "tiles": self.tiles, "banks": self.banks}
+
+
+@dataclass
+class BramPlan:
+    """Complete BRAM allocation of one PL ODEBlock instance."""
+
+    block: str
+    regions: List[BramRegion] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.num_bytes for r in self.regions)
+
+    @property
+    def total_tiles(self) -> int:
+        return sum(r.tiles for r in self.regions)
+
+    def fits(self, device: FpgaDevice = ZYNQ_XC7Z020) -> bool:
+        """Whether the plan fits in the device's BRAM."""
+
+        return self.total_tiles <= device.bram36
+
+    def utilization_percent(self, device: FpgaDevice = ZYNQ_XC7Z020) -> float:
+        return 100.0 * self.total_tiles / device.bram36
+
+    def region(self, name: str) -> BramRegion:
+        for r in self.regions:
+            if r.name == name:
+                return r
+        raise KeyError(f"no BRAM region named '{name}'")
+
+
+def plan_block_allocation(
+    geometry: BlockGeometry,
+    n_units: int = 16,
+    qformat: QFormat = Q20,
+    feature_map_buffers: int = 3,
+) -> BramPlan:
+    """Plan the BRAM allocation of one ODEBlock.
+
+    Parameters
+    ----------
+    geometry:
+        The block geometry (layer1 / layer2_2 / layer3_2).
+    n_units:
+        Number of multiply-add units.  Each unit needs concurrent access to a
+        weight word, so the weight storage is spread over at least ``n_units``
+        banks, which can increase the tile count for small layers (this is
+        what pushes layer1's conv_x16 BRAM count above the conv_x8 one in
+        Table 3).
+    qformat:
+        Fixed-point format of the stored values (32-bit Q20 by default; the
+        word-length ablation passes narrower formats here).
+    feature_map_buffers:
+        Number of full feature-map buffers held on chip (input, intermediate
+        and output by default).
+    """
+
+    bpv = qformat.bytes_per_value
+    regions: List[BramRegion] = []
+
+    per_conv_weights = geometry.weight_count // geometry.num_convs
+    per_conv_bytes = per_conv_weights * bpv
+    banks = max(1, min(n_units, geometry.out_channels))
+    for i in range(geometry.num_convs):
+        # Weight words are interleaved across `banks` banks for parallel
+        # access.  The tile count is driven by capacity; banking mainly
+        # affects how the words are distributed, so at least one tile per
+        # bank is required only when capacity alone would give fewer tiles
+        # than there are banks.
+        tiles = max(tiles_for_bytes(per_conv_bytes), 0)
+        regions.append(
+            BramRegion(name=f"conv{i + 1}_weights", num_bytes=per_conv_bytes, tiles=tiles, banks=banks)
+        )
+
+    bn_bytes = geometry.bn_parameter_count * bpv
+    regions.append(BramRegion(name="bn_parameters", num_bytes=bn_bytes, tiles=tiles_for_bytes(bn_bytes)))
+
+    fmap_bytes = geometry.output_elements * bpv
+    for i in range(feature_map_buffers):
+        name = ("input_fmap", "intermediate_fmap", "output_fmap")[i] if i < 3 else f"fmap_buffer_{i}"
+        regions.append(BramRegion(name=name, num_bytes=fmap_bytes, tiles=tiles_for_bytes(fmap_bytes)))
+
+    return BramPlan(block=geometry.name, regions=regions)

@@ -1,0 +1,154 @@
+"""Cycle-count model of the PL-part ODEBlock datapath.
+
+Section 3.1 of the paper describes a five-step pipeline (conv, BN, ReLU,
+conv, BN) whose convolution/ReLU steps are executed by 1–64 multiply-add
+units, and states that "their execution cycles (except for the batch
+normalization) decrease in inverse proportion to the number of multiply-add
+units".  It also publishes the execution cycles of layer3_2 for the
+conv_x1/x4/x8/x16/x32 configurations: 23.78M, 6.07M, 3.12M, 1.64M and 0.90M
+cycles.
+
+The model here is:
+
+* convolution + ReLU cycles  =  ``total_MACs / n_units * cycles_per_mac``
+  (``cycles_per_mac`` = 5.0, the initiation interval of the multiply-add
+  pipeline fitted to the published counts; parallelism is capped by the
+  number of output channels, as the paper notes);
+* batch-normalisation cycles =  ``bn_elements * bn_cycles_per_element``
+  (``bn_cycles_per_element`` = 21, covering the mean / variance /
+  square-root / normalise passes; independent of the MAC-unit count).
+
+With those two constants the model reproduces all five published cycle
+counts within ~1 % (see ``tests/fpga/test_cycles.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .geometry import BlockGeometry
+
+__all__ = ["CycleModelConfig", "CycleBreakdown", "OdeBlockCycleModel", "PAPER_LAYER3_2_CYCLES"]
+
+
+#: Published execution cycles of layer3_2 for each conv_xN configuration
+#: (Section 3.1 of the paper), used for calibration tests.
+PAPER_LAYER3_2_CYCLES: Dict[int, float] = {
+    1: 23.78e6,
+    4: 6.07e6,
+    8: 3.12e6,
+    16: 1.64e6,
+    32: 0.90e6,
+}
+
+
+@dataclass(frozen=True)
+class CycleModelConfig:
+    """Calibration constants of the PL cycle model."""
+
+    #: Clock cycles per multiply-accumulate issued to one MAC unit.  Fitted to
+    #: the published layer3_2 cycle counts (23.61e6 cycles / 4.72e6 MACs).
+    cycles_per_mac: float = 5.0
+
+    #: Clock cycles per feature-map element for one batch-normalisation pass
+    #: (mean + variance + sqrt + normalise), independent of MAC-unit count.
+    bn_cycles_per_element: float = 21.0
+
+    #: Cycles per output element for the ReLU step when executed standalone.
+    #: The published numbers are consistent with ReLU being fused into the
+    #: convolution pipeline, so this defaults to zero.
+    relu_cycles_per_element: float = 0.0
+
+    #: Fixed per-invocation control overhead (start/finish handshake).
+    invocation_overhead: float = 0.0
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Cycle counts of one ODEBlock execution on the PL part."""
+
+    conv_cycles: float
+    bn_cycles: float
+    relu_cycles: float
+    overhead_cycles: float
+
+    @property
+    def total(self) -> float:
+        return self.conv_cycles + self.bn_cycles + self.relu_cycles + self.overhead_cycles
+
+    def time_seconds(self, clock_hz: float) -> float:
+        """Wall-clock execution time at the given PL clock frequency."""
+
+        return self.total / clock_hz
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "conv_cycles": self.conv_cycles,
+            "bn_cycles": self.bn_cycles,
+            "relu_cycles": self.relu_cycles,
+            "overhead_cycles": self.overhead_cycles,
+            "total_cycles": self.total,
+        }
+
+
+class OdeBlockCycleModel:
+    """Cycle model for a single building block executed on the PL part."""
+
+    def __init__(self, config: CycleModelConfig | None = None) -> None:
+        self.config = config or CycleModelConfig()
+
+    def effective_units(self, geometry: BlockGeometry, n_units: int) -> int:
+        """MAC-unit count actually usable for a block.
+
+        The paper notes the parallelism "is also restricted by the number of
+        output channels", so e.g. layer1 (16 channels) cannot use more than 16
+        units.
+        """
+
+        if n_units < 1:
+            raise ValueError("n_units must be >= 1")
+        return min(n_units, geometry.out_channels)
+
+    def conv_cycles(self, geometry: BlockGeometry, n_units: int) -> float:
+        """Cycles of both convolution steps with ``n_units`` MAC units."""
+
+        units = self.effective_units(geometry, n_units)
+        return geometry.total_macs / units * self.config.cycles_per_mac
+
+    def bn_cycles(self, geometry: BlockGeometry) -> float:
+        """Cycles of both batch-normalisation steps (parallelism-independent)."""
+
+        return geometry.bn_elements * self.config.bn_cycles_per_element
+
+    def relu_cycles(self, geometry: BlockGeometry, n_units: int) -> float:
+        """Cycles of the ReLU step (zero when fused into the conv pipeline)."""
+
+        if self.config.relu_cycles_per_element == 0.0:
+            return 0.0
+        units = self.effective_units(geometry, n_units)
+        return geometry.output_elements * self.config.relu_cycles_per_element / units
+
+    def block_cycles(self, geometry: BlockGeometry, n_units: int) -> CycleBreakdown:
+        """Full cycle breakdown of one ODEBlock execution."""
+
+        return CycleBreakdown(
+            conv_cycles=self.conv_cycles(geometry, n_units),
+            bn_cycles=self.bn_cycles(geometry),
+            relu_cycles=self.relu_cycles(geometry, n_units),
+            overhead_cycles=self.config.invocation_overhead,
+        )
+
+    def block_time_seconds(
+        self, geometry: BlockGeometry, n_units: int, clock_hz: float = 100e6
+    ) -> float:
+        """Execution time of one block at a given PL clock."""
+
+        return self.block_cycles(geometry, n_units).time_seconds(clock_hz)
+
+    def parallelism_sweep(
+        self, geometry: BlockGeometry, unit_counts=(1, 4, 8, 16, 32)
+    ) -> Dict[int, CycleBreakdown]:
+        """Cycle breakdowns over a sweep of MAC-unit counts (paper's conv_xN)."""
+
+        return {n: self.block_cycles(geometry, n) for n in unit_counts}

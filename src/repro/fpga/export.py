@@ -1,0 +1,198 @@
+"""Deployment export: pack quantised ODEBlock weights for the board.
+
+On the real system the trained weights of the offloaded ODEBlock must be
+converted to the 32-bit Q20 fixed-point format and written into the BRAM
+regions of the PL bitstream (or uploaded over AXI at start-up).  This module
+implements that packaging step for the simulated flow:
+
+* :func:`export_block_weights` serialises a :class:`BlockWeights` bundle into
+  a flat little-endian byte image laid out exactly like the BRAM plan of
+  :func:`repro.fpga.bram.plan_block_allocation` (conv1 weights, conv2
+  weights, BN parameters), preceded by a small self-describing header;
+* :func:`import_block_weights` parses such an image back into float weights,
+  so a round trip through the deployment format is lossless up to the Q-format
+  quantisation (verified by the tests).
+
+The same image can be consumed by :class:`repro.fpga.odeblock_hw.HardwareODEBlock`
+(via ``BlockWeights``), keeping a single source of truth for the layout.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..fixedpoint import QFormat, Q20
+from .geometry import BlockGeometry, block_geometry
+from .odeblock_hw import BlockWeights
+
+__all__ = ["WeightImageHeader", "export_block_weights", "import_block_weights"]
+
+#: Magic number identifying a weight image ("ODEW" little-endian).
+_MAGIC = 0x4F444557
+_HEADER_STRUCT = struct.Struct("<IHHHHHHB3x")
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WeightImageHeader:
+    """Self-describing header of an exported weight image."""
+
+    in_channels: int
+    out_channels: int
+    kernel: int
+    word_length: int
+    fraction_bits: int
+    time_concat: bool
+
+    def pack(self) -> bytes:
+        return _HEADER_STRUCT.pack(
+            _MAGIC,
+            _VERSION,
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.word_length,
+            self.fraction_bits,
+            1 if self.time_concat else 0,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "WeightImageHeader":
+        magic, version, in_ch, out_ch, kernel, word, frac, concat = _HEADER_STRUCT.unpack(
+            data[: _HEADER_STRUCT.size]
+        )
+        if magic != _MAGIC:
+            raise ValueError("not an ODEBlock weight image (bad magic)")
+        if version != _VERSION:
+            raise ValueError(f"unsupported weight image version {version}")
+        return cls(
+            in_channels=in_ch,
+            out_channels=out_ch,
+            kernel=kernel,
+            word_length=word,
+            fraction_bits=frac,
+            time_concat=bool(concat),
+        )
+
+    @property
+    def qformat(self) -> QFormat:
+        return QFormat(self.word_length, self.fraction_bits)
+
+    @property
+    def size(self) -> int:
+        return _HEADER_STRUCT.size
+
+
+def _dtype_for(fmt: QFormat) -> np.dtype:
+    if fmt.word_length <= 8:
+        return np.dtype("<i1")
+    if fmt.word_length <= 16:
+        return np.dtype("<i2")
+    if fmt.word_length <= 32:
+        return np.dtype("<i4")
+    return np.dtype("<i8")
+
+
+def _conv_in_channels(weights: BlockWeights) -> Tuple[int, bool]:
+    out_ch, in_ch = weights.conv1_weight.shape[:2]
+    time_concat = in_ch == out_ch + 1
+    return in_ch - (1 if time_concat else 0), time_concat
+
+
+def export_block_weights(
+    weights: BlockWeights,
+    qformat: QFormat = Q20,
+) -> bytes:
+    """Serialise an ODEBlock's weights into the deployment byte image.
+
+    Layout: header, conv1 weights, conv2 weights, then the BN parameters in
+    the order gamma1, beta1, mean1, var1, gamma2, beta2, mean2, var2 (running
+    statistics default to 0 / 1 when the bundle does not carry them).
+    """
+
+    out_ch = weights.conv1_weight.shape[0]
+    kernel = weights.conv1_weight.shape[2]
+    in_ch, time_concat = _conv_in_channels(weights)
+    header = WeightImageHeader(
+        in_channels=in_ch,
+        out_channels=out_ch,
+        kernel=kernel,
+        word_length=qformat.word_length,
+        fraction_bits=qformat.fraction_bits,
+        time_concat=time_concat,
+    )
+
+    dtype = _dtype_for(qformat)
+    pieces = [header.pack()]
+    bn_defaults = {
+        "bn1_mean": np.zeros(out_ch),
+        "bn1_var": np.ones(out_ch),
+        "bn2_mean": np.zeros(out_ch),
+        "bn2_var": np.ones(out_ch),
+    }
+    arrays = [
+        weights.conv1_weight,
+        weights.conv2_weight,
+        weights.bn1_gamma,
+        weights.bn1_beta,
+        weights.bn1_mean if weights.bn1_mean is not None else bn_defaults["bn1_mean"],
+        weights.bn1_var if weights.bn1_var is not None else bn_defaults["bn1_var"],
+        weights.bn2_gamma,
+        weights.bn2_beta,
+        weights.bn2_mean if weights.bn2_mean is not None else bn_defaults["bn2_mean"],
+        weights.bn2_var if weights.bn2_var is not None else bn_defaults["bn2_var"],
+    ]
+    for array in arrays:
+        fixed = qformat.to_fixed(np.asarray(array, dtype=np.float64))
+        pieces.append(fixed.astype(dtype).tobytes())
+    return b"".join(pieces)
+
+
+def import_block_weights(image: bytes) -> Tuple[BlockWeights, WeightImageHeader]:
+    """Parse a weight image back into float weights (dequantised)."""
+
+    header = WeightImageHeader.unpack(image)
+    fmt = header.qformat
+    dtype = _dtype_for(fmt)
+    conv_in = header.in_channels + (1 if header.time_concat else 0)
+    conv_shape = (header.out_channels, conv_in, header.kernel, header.kernel)
+    conv_count = int(np.prod(conv_shape))
+    c = header.out_channels
+
+    offset = header.size
+    itemsize = dtype.itemsize
+
+    def take(count: int, shape) -> np.ndarray:
+        nonlocal offset
+        raw = np.frombuffer(image, dtype=dtype, count=count, offset=offset)
+        offset += count * itemsize
+        return fmt.to_float(raw.astype(np.int64)).reshape(shape)
+
+    conv1 = take(conv_count, conv_shape)
+    conv2 = take(conv_count, conv_shape)
+    bn1_gamma = take(c, (c,))
+    bn1_beta = take(c, (c,))
+    bn1_mean = take(c, (c,))
+    bn1_var = take(c, (c,))
+    bn2_gamma = take(c, (c,))
+    bn2_beta = take(c, (c,))
+    bn2_mean = take(c, (c,))
+    bn2_var = take(c, (c,))
+
+    weights = BlockWeights(
+        conv1_weight=conv1,
+        bn1_gamma=bn1_gamma,
+        bn1_beta=bn1_beta,
+        conv2_weight=conv2,
+        bn2_gamma=bn2_gamma,
+        bn2_beta=bn2_beta,
+        bn1_mean=bn1_mean,
+        bn1_var=bn1_var,
+        bn2_mean=bn2_mean,
+        bn2_var=bn2_var,
+    )
+    return weights, header

@@ -1,0 +1,139 @@
+"""Geometry of the convolutional building blocks implemented on the PL part.
+
+A :class:`BlockGeometry` captures everything the hardware model needs to know
+about one ODEBlock / ResNet building block: channel count, feature-map size,
+kernel size and stride.  The three blocks the paper implements on the FPGA
+(Section 3.1) are provided as constants:
+
+=========  =========  ================  ======
+name       channels   feature map       stride
+=========  =========  ================  ======
+layer1     16         32 x 32           1
+layer2_2   32         16 x 16           1
+layer3_2   64         8 x 8             1
+=========  =========  ================  ======
+
+(Table 2 lists the *output* size of each layer group; the strided
+down-sampling blocks layer2_1 / layer3_1 halve the spatial size, so the
+repeated blocks operate at the sizes above.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "BlockGeometry",
+    "LAYER1",
+    "LAYER2_2",
+    "LAYER3_2",
+    "OFFLOADABLE_BLOCKS",
+    "block_geometry",
+]
+
+
+@dataclass(frozen=True)
+class BlockGeometry:
+    """Shape of one building block (two 3x3 convolutions + 2 BN + ReLU)."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    height: int
+    width: int
+    kernel: int = 3
+    stride: int = 1
+    num_convs: int = 2
+    num_batch_norms: int = 2
+
+    @property
+    def out_height(self) -> int:
+        return self.height // self.stride
+
+    @property
+    def out_width(self) -> int:
+        return self.width // self.stride
+
+    @property
+    def input_elements(self) -> int:
+        """Number of values in the input feature map."""
+
+        return self.in_channels * self.height * self.width
+
+    @property
+    def output_elements(self) -> int:
+        """Number of values in the output feature map."""
+
+        return self.out_channels * self.out_height * self.out_width
+
+    @property
+    def macs_per_conv(self) -> int:
+        """Multiply-accumulate operations of one 3x3 convolution."""
+
+        return (
+            self.out_channels
+            * self.in_channels
+            * self.kernel
+            * self.kernel
+            * self.out_height
+            * self.out_width
+        )
+
+    @property
+    def total_macs(self) -> int:
+        """MACs of the whole block (both convolutions)."""
+
+        return self.macs_per_conv * self.num_convs
+
+    @property
+    def bn_elements(self) -> int:
+        """Elements processed by the batch-normalisation steps (both BNs)."""
+
+        return self.output_elements * self.num_batch_norms
+
+    @property
+    def weight_count(self) -> int:
+        """Number of weight parameters of the two convolutions."""
+
+        per_conv = self.out_channels * self.in_channels * self.kernel * self.kernel
+        return per_conv * self.num_convs
+
+    @property
+    def bn_parameter_count(self) -> int:
+        """Gamma/beta (and running statistics) of the two BN steps."""
+
+        return 4 * self.out_channels * self.num_batch_norms
+
+    def weight_bytes(self, bytes_per_value: int = 4) -> int:
+        """Weight storage in bytes (paper: 32-bit values, i.e. 4 bytes)."""
+
+        return (self.weight_count + self.bn_parameter_count) * bytes_per_value
+
+    def feature_map_bytes(self, bytes_per_value: int = 4) -> int:
+        """Bytes of one feature-map buffer (output-sized)."""
+
+        return self.output_elements * bytes_per_value
+
+
+LAYER1 = BlockGeometry(name="layer1", in_channels=16, out_channels=16, height=32, width=32)
+LAYER2_2 = BlockGeometry(name="layer2_2", in_channels=32, out_channels=32, height=16, width=16)
+LAYER3_2 = BlockGeometry(name="layer3_2", in_channels=64, out_channels=64, height=8, width=8)
+
+#: Blocks the paper implements on the PL part (Section 3.1).
+OFFLOADABLE_BLOCKS: Dict[str, BlockGeometry] = {
+    "layer1": LAYER1,
+    "layer2_2": LAYER2_2,
+    "layer3_2": LAYER3_2,
+}
+
+
+def block_geometry(name: str) -> BlockGeometry:
+    """Look up one of the offloadable block geometries by layer name."""
+
+    try:
+        return OFFLOADABLE_BLOCKS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown offloadable block '{name}'; expected one of {sorted(OFFLOADABLE_BLOCKS)}"
+        ) from exc

@@ -1,0 +1,143 @@
+"""Bit-accurate fixed-point operators of the PL datapath.
+
+These functions model the arithmetic performed by the Verilog ODEBlock
+described in Section 3.1: 3x3 convolution and ReLU executed by multiply-add
+units, and batch normalisation executed by multiply-add, division and
+square-root units, all in 32-bit Q20 fixed point.  They operate on a single
+image (``(C, H, W)``), matching the board's one-image-at-a-time prediction
+flow, and on :class:`~repro.fixedpoint.fxarray.FxArray` data.
+
+The integer arithmetic follows the hardware conventions: products are
+computed at double width and renormalised by an arithmetic right shift,
+accumulation happens in a wide accumulator, and the variance/σ path uses the
+integer divide and Newton square-root units from
+:mod:`repro.fixedpoint.arithmetic`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..fixedpoint import FxArray, QFormat, Q20
+from ..fixedpoint import arithmetic as fx
+from ..nn.im2col import conv_output_size, im2col
+
+__all__ = ["hw_conv2d", "hw_batch_norm", "hw_relu", "hw_residual_add"]
+
+
+def hw_conv2d(
+    x: FxArray,
+    weight: FxArray,
+    stride: int = 1,
+    padding: int = 1,
+) -> FxArray:
+    """Fixed-point 3x3 convolution of a single image.
+
+    Parameters
+    ----------
+    x:
+        Input feature map of shape ``(C_in, H, W)``.
+    weight:
+        Kernel of shape ``(C_out, C_in, KH, KW)``.
+    """
+
+    if x.ndim != 3:
+        raise ValueError("hw_conv2d expects a single (C, H, W) image")
+    if x.fmt != weight.fmt:
+        raise ValueError("input and weight formats must match")
+    fmt = x.fmt
+    c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: {c_in} vs {c_in_w}")
+
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    # im2col on the raw integer representation; zero padding is exact in
+    # fixed point, so reusing the float helper on int64 data is safe.
+    cols = im2col(x.raw[None, ...].astype(np.int64), kh, kw, stride, padding)
+    w_mat = weight.raw.reshape(c_out, -1).astype(np.int64)
+
+    # Wide accumulation followed by a single renormalisation, matching a MAC
+    # unit with a wide accumulator register.
+    acc = cols @ w_mat.T
+    renorm = acc >> fmt.fraction_bits
+    renorm = np.clip(renorm, fmt.min_int, fmt.max_int)
+    out = renorm.reshape(out_h, out_w, c_out).transpose(2, 0, 1)
+    return FxArray(out, fmt)
+
+
+def hw_batch_norm(
+    x: FxArray,
+    gamma: FxArray,
+    beta: FxArray,
+    running_mean: Optional[FxArray] = None,
+    running_var: Optional[FxArray] = None,
+    eps: float = 1e-5,
+    dynamic_stats: bool = True,
+) -> FxArray:
+    """Fixed-point batch normalisation of a single image.
+
+    The paper's hardware computes the mean, variance and standard deviation
+    on the fly with multiply-add, divide and square-root units
+    (``dynamic_stats=True``, the default).  Alternatively the trained running
+    statistics can be applied (``dynamic_stats=False``), which is the
+    standard inference-time behaviour of software BN.
+    """
+
+    if x.ndim != 3:
+        raise ValueError("hw_batch_norm expects a single (C, H, W) image")
+    fmt = x.fmt
+    c = x.shape[0]
+    if gamma.shape != (c,) or beta.shape != (c,):
+        raise ValueError("gamma/beta must have shape (C,)")
+
+    eps_fx = fmt.to_fixed(eps)
+
+    if dynamic_stats:
+        mean = fx.fx_mean(x.raw.reshape(c, -1), fmt, axis=1)
+        var = fx.fx_var(x.raw.reshape(c, -1), fmt, axis=1)
+    else:
+        if running_mean is None or running_var is None:
+            raise ValueError("running statistics required when dynamic_stats=False")
+        mean = running_mean.raw
+        var = running_var.raw
+
+    std = fx.fx_sqrt(fx.fx_add(var, eps_fx, fmt), fmt)
+    # A hardware divider cannot divide by zero; clamp σ to one LSB (relevant
+    # only for very narrow word lengths where small variances quantise to 0).
+    std = np.maximum(std, 1)
+
+    centered = fx.fx_sub(x.raw, mean.reshape(c, 1, 1), fmt)
+    normalized = fx.fx_div(centered, std.reshape(c, 1, 1), fmt)
+    scaled = fx.fx_mul(normalized, gamma.raw.reshape(c, 1, 1), fmt)
+    shifted = fx.fx_add(scaled, beta.raw.reshape(c, 1, 1), fmt)
+    return FxArray(shifted, fmt)
+
+
+def hw_relu(x: FxArray) -> FxArray:
+    """Fixed-point ReLU."""
+
+    return x.relu()
+
+
+def hw_residual_add(x: FxArray, fx_out: FxArray, step_size: float = 1.0) -> FxArray:
+    """Euler update ``z + h * f(z)`` in fixed point.
+
+    The multiplication by the step size ``h`` is exact when ``h`` is 1 (the
+    paper's configuration, one building block per step); other step sizes are
+    quantised to the array's format first.
+    """
+
+    if x.fmt != fx_out.fmt:
+        raise ValueError("operand formats must match")
+    fmt = x.fmt
+    if step_size == 1.0:
+        scaled = fx_out.raw
+    else:
+        h_fx = fmt.to_fixed(step_size)
+        scaled = fx.fx_mul(fx_out.raw, h_fx, fmt)
+    return FxArray(fx.fx_add(x.raw, scaled, fmt), fmt)

@@ -1,0 +1,153 @@
+"""Power and energy model of the PS + PL system.
+
+The paper motivates FPGAs as "an energy-efficient solution" for edge
+machine-learning but does not report power numbers.  This module adds the
+missing energy analysis so the repository can answer the natural follow-up
+question — *does the offload also save energy, or only time?* — using
+publicly documented figures for the Zynq-7020 class of devices:
+
+* PS (dual Cortex-A9 @ 650 MHz + DDR3): ~1.3 W when busy, ~0.3 W idle
+  (typical Zynq-7000 PS figures).
+* PL static power: ~0.12 W for the -1 speed grade fabric.
+* PL dynamic power: modelled as proportional to the active resources
+  (DSP slices toggling at 100 MHz plus BRAM and distributed logic), roughly
+  1.5 mW per active DSP48 at 100 MHz plus 0.5 mW per BRAM36.
+
+These constants are deliberately conservative estimates (documented, not
+measured); the interesting outputs are the *ratios* between configurations,
+which are dominated by the execution-time model that is calibrated to the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from .device import ResourceVector
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard (lazy import at runtime)
+    from ..core.execution_model import ExecutionTimeModel, ExecutionTimeReport
+
+__all__ = ["PowerModelConfig", "EnergyEstimate", "PowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerModelConfig:
+    """Power constants (watts) of the PS + PL system."""
+
+    ps_active_w: float = 1.3
+    ps_idle_w: float = 0.3
+    pl_static_w: float = 0.12
+    pl_dynamic_per_dsp_w: float = 0.0015
+    pl_dynamic_per_bram_w: float = 0.0005
+    pl_dynamic_base_w: float = 0.05
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy accounting of one prediction."""
+
+    model: str
+    depth: int
+    seconds: float
+    ps_energy_j: float
+    pl_energy_j: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.ps_energy_j + self.pl_energy_j
+
+    @property
+    def average_power_w(self) -> float:
+        return self.total_energy_j / self.seconds if self.seconds else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "model": self.model,
+            "N": self.depth,
+            "seconds": self.seconds,
+            "ps_energy_J": self.ps_energy_j,
+            "pl_energy_J": self.pl_energy_j,
+            "total_energy_J": self.total_energy_j,
+            "average_power_W": self.average_power_w,
+        }
+
+
+class PowerModel:
+    """Estimate per-prediction energy with and without the PL offload."""
+
+    def __init__(
+        self,
+        config: Optional[PowerModelConfig] = None,
+        execution_model: Optional["ExecutionTimeModel"] = None,
+    ) -> None:
+        # Imported lazily to avoid a circular import with repro.core.
+        from ..core.execution_model import ExecutionTimeModel
+
+        self.config = config or PowerModelConfig()
+        self.execution_model = execution_model or ExecutionTimeModel()
+
+    # -- component powers ---------------------------------------------------------
+
+    def pl_power_w(self, resources: ResourceVector) -> float:
+        """Dynamic + static PL power for a given set of active resources."""
+
+        cfg = self.config
+        return (
+            cfg.pl_static_w
+            + cfg.pl_dynamic_base_w
+            + cfg.pl_dynamic_per_dsp_w * resources.dsp
+            + cfg.pl_dynamic_per_bram_w * resources.bram
+        )
+
+    # -- per-prediction energy -------------------------------------------------------
+
+    def energy_without_pl(self, report: "ExecutionTimeReport") -> EnergyEstimate:
+        """Pure-software execution: the PS is busy for the whole prediction."""
+
+        seconds = report.total_without_pl
+        return EnergyEstimate(
+            model=report.model,
+            depth=report.depth,
+            seconds=seconds,
+            ps_energy_j=self.config.ps_active_w * seconds,
+            pl_energy_j=0.0,
+        )
+
+    def energy_with_pl(self, report: "ExecutionTimeReport", resources: ResourceVector) -> EnergyEstimate:
+        """Offloaded execution.
+
+        While the PL runs the offloaded layer the PS idles (the prediction
+        flow of the paper is sequential), and the PL consumes static +
+        dynamic power for the whole prediction because its clock keeps
+        running.
+        """
+
+        seconds = report.total_with_pl
+        pl_busy = sum(report.target_with_pl)
+        ps_busy = seconds - pl_busy
+        ps_energy = self.config.ps_active_w * ps_busy + self.config.ps_idle_w * pl_busy
+        pl_energy = self.pl_power_w(resources) * seconds
+        return EnergyEstimate(
+            model=report.model,
+            depth=report.depth,
+            seconds=seconds,
+            ps_energy_j=ps_energy,
+            pl_energy_j=pl_energy,
+        )
+
+    def compare(self, model_name: str, depth: int, resources: ResourceVector) -> Dict[str, float]:
+        """Energy with vs without the PL offload for one architecture."""
+
+        report = self.execution_model.report(model_name, depth)
+        without = self.energy_without_pl(report)
+        with_pl = self.energy_with_pl(report, resources)
+        return {
+            "model": model_name,
+            "N": depth,
+            "energy_without_pl_J": without.total_energy_j,
+            "energy_with_pl_J": with_pl.total_energy_j,
+            "energy_ratio": without.total_energy_j / with_pl.total_energy_j if with_pl.total_energy_j else float("inf"),
+            "time_speedup": report.overall_speedup,
+        }

@@ -1,0 +1,108 @@
+"""Timing-closure model for the PL ODEBlock.
+
+Section 3.1: "since only conv_x32 could not satisfy a timing constraint of
+our target FPGA board (i.e., 100MHz), we mainly use conv_x16 in this paper."
+
+The achievable clock frequency of the conv/ReLU datapath is modelled as the
+reciprocal of a critical path consisting of a fixed logic delay (multiplier,
+BRAM access, control) plus one adder-tree level per doubling of the MAC-unit
+count.  The constants are chosen so that configurations up to conv_x16 close
+timing at 100 MHz and conv_x32 does not — matching the paper's observation —
+while remaining a smooth, monotone model usable in the parallelism ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+__all__ = ["TimingModelConfig", "TimingReport", "TimingModel", "DEFAULT_TIMING_MODEL"]
+
+
+@dataclass(frozen=True)
+class TimingModelConfig:
+    """Critical-path model constants."""
+
+    #: Fixed delay of the MAC datapath (DSP48 multiply + BRAM read + control), ns.
+    base_delay_ns: float = 5.0
+
+    #: Additional delay per adder-tree level (log2 of the unit count), ns.
+    per_level_delay_ns: float = 1.2
+
+    #: Target clock period used by the paper (100 MHz -> 10 ns).
+    target_clock_hz: float = 100e6
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Outcome of timing analysis for one parallelism configuration."""
+
+    n_units: int
+    critical_path_ns: float
+    fmax_hz: float
+    target_hz: float
+    meets_timing: bool
+    slack_ns: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n_units": self.n_units,
+            "critical_path_ns": self.critical_path_ns,
+            "fmax_mhz": self.fmax_hz / 1e6,
+            "target_mhz": self.target_hz / 1e6,
+            "meets_timing": float(self.meets_timing),
+            "slack_ns": self.slack_ns,
+        }
+
+
+class TimingModel:
+    """Estimate fmax and timing closure versus MAC-unit count."""
+
+    def __init__(self, config: TimingModelConfig | None = None) -> None:
+        self.config = config or TimingModelConfig()
+
+    def critical_path_ns(self, n_units: int) -> float:
+        """Critical-path delay of the conv datapath with ``n_units`` MAC units."""
+
+        if n_units < 1:
+            raise ValueError("n_units must be >= 1")
+        levels = math.log2(n_units) if n_units > 1 else 0.0
+        return self.config.base_delay_ns + self.config.per_level_delay_ns * levels
+
+    def fmax_hz(self, n_units: int) -> float:
+        """Maximum achievable clock frequency."""
+
+        return 1e9 / self.critical_path_ns(n_units)
+
+    def analyze(self, n_units: int, target_hz: float | None = None) -> TimingReport:
+        """Full timing report against the target clock (default 100 MHz)."""
+
+        target = target_hz if target_hz is not None else self.config.target_clock_hz
+        path = self.critical_path_ns(n_units)
+        period = 1e9 / target
+        return TimingReport(
+            n_units=n_units,
+            critical_path_ns=path,
+            fmax_hz=self.fmax_hz(n_units),
+            target_hz=target,
+            meets_timing=path <= period,
+            slack_ns=period - path,
+        )
+
+    def sweep(self, unit_counts: Iterable[int] = (1, 4, 8, 16, 32)) -> Dict[int, TimingReport]:
+        """Timing reports for a sweep of MAC-unit counts."""
+
+        return {n: self.analyze(n) for n in unit_counts}
+
+    def max_units_meeting_timing(self, candidates: Iterable[int] = (1, 2, 4, 8, 16, 32, 64)) -> int:
+        """Largest candidate unit count that closes timing at the target clock."""
+
+        feasible = [n for n in candidates if self.analyze(n).meets_timing]
+        if not feasible:
+            raise RuntimeError("no candidate parallelism meets timing")
+        return max(feasible)
+
+
+#: Shared default instance (constants per the module docstring).
+DEFAULT_TIMING_MODEL = TimingModel()

@@ -1,0 +1,13 @@
+"""Hardware/software co-execution substrate (the PS+PL system of Figure 3)."""
+
+from .partition import Partition
+from .ps_model import PsModelConfig, SoftwareCostModel
+from .runtime import HwSwRuntime, PredictionReport
+
+__all__ = [
+    "Partition",
+    "PsModelConfig",
+    "SoftwareCostModel",
+    "HwSwRuntime",
+    "PredictionReport",
+]

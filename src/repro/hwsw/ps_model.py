@@ -1,0 +1,80 @@
+"""Software execution-time model of the PS part (ARM Cortex-A9 @ 650 MHz).
+
+Table 5's "w/o PL" columns are wall-clock times of a pure software execution
+on the PYNQ-Z2's Cortex-A9.  This module models that software cost as
+
+    time = (MACs · cycles_per_mac + elements · passes · cycles_per_element)
+           / f_PS  + per-image overhead
+
+where
+
+* ``cycles_per_mac``  (7.6)  covers the inner convolution loops,
+* ``cycles_per_element`` (64) covers one software pass over a feature map
+  (batch-norm statistics/normalisation, ReLU, or the residual addition), and
+* ``per_image_overhead_s`` (0.028 s) covers framework bookkeeping, pooling,
+  softmax and data handling that do not scale with depth.
+
+The constants were fitted to the four published ResNet-N totals
+(0.54 / 0.89 / 1.24 / 1.58 s for N = 20 / 32 / 44 / 56) and cross-checked
+against the per-layer "Target w/o PL" columns of Table 5; the model
+reproduces all of them within a few percent (see
+``tests/hwsw/test_ps_model.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["PsModelConfig", "SoftwareCostModel"]
+
+
+@dataclass(frozen=True)
+class PsModelConfig:
+    """Calibration constants of the PS software-execution model."""
+
+    #: PS clock frequency in Hz (PYNQ-Z2: 650 MHz Cortex-A9).
+    clock_hz: float = 650e6
+
+    #: CPU cycles per convolution multiply-accumulate.
+    cycles_per_mac: float = 7.6
+
+    #: CPU cycles per feature-map element for one element-wise pass
+    #: (batch-norm, ReLU or residual add).
+    cycles_per_element: float = 64.0
+
+    #: Fixed per-image overhead (framework bookkeeping, pooling, softmax), s.
+    per_image_overhead_s: float = 0.028
+
+
+class SoftwareCostModel:
+    """Estimate software execution time of convolutional work on the PS part."""
+
+    def __init__(self, config: PsModelConfig | None = None) -> None:
+        self.config = config or PsModelConfig()
+
+    def work_time(self, macs: float, elements: float = 0.0, passes: float = 0.0) -> float:
+        """Seconds to execute ``macs`` MACs plus ``passes`` passes over ``elements``."""
+
+        cfg = self.config
+        cycles = macs * cfg.cycles_per_mac + elements * passes * cfg.cycles_per_element
+        return cycles / cfg.clock_hz
+
+    def block_time(self, macs: float, out_elements: float, elementwise_passes: int) -> float:
+        """Seconds for one building-block (or layer-group) execution."""
+
+        return self.work_time(macs, out_elements, elementwise_passes)
+
+    def per_image_overhead(self) -> float:
+        """Fixed per-image software overhead in seconds."""
+
+        return self.config.per_image_overhead_s
+
+    def describe(self) -> Dict[str, float]:
+        cfg = self.config
+        return {
+            "clock_mhz": cfg.clock_hz / 1e6,
+            "cycles_per_mac": cfg.cycles_per_mac,
+            "cycles_per_element": cfg.cycles_per_element,
+            "per_image_overhead_s": cfg.per_image_overhead_s,
+        }

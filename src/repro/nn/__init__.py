@@ -1,0 +1,55 @@
+"""NumPy-based neural-network substrate (autograd, layers, optimisers).
+
+This package is the stand-in for the PyTorch stack the paper's software
+implementation relies on.  It provides just enough of a deep-learning
+framework — reverse-mode autograd, 2-D convolution, batch normalisation,
+pooling, linear layers, SGD and LR schedules — to express, train and evaluate
+ResNet-N, ODENet-N, the rODENet variants and Hybrid-3-N.
+"""
+
+from . import functional, init
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from .loss import CrossEntropyLoss, MSELoss, accuracy, top_k_accuracy
+from .optim import SGD, Adam, CosineAnnealingLR, MultiStepLR, StepLR
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "functional",
+    "init",
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Parameter",
+    "Module",
+    "Sequential",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "Linear",
+    "GlobalAvgPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "Identity",
+    "SGD",
+    "Adam",
+    "MultiStepLR",
+    "StepLR",
+    "CosineAnnealingLR",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "accuracy",
+    "top_k_accuracy",
+]

@@ -1,0 +1,46 @@
+"""ODE solver substrate: fixed-grid and adaptive solvers plus the adjoint method.
+
+This package plays the role of ``torchdiffeq`` in the original work: it
+provides ``ODESolve`` (Equation 4 of the paper), a torchdiffeq-style
+``odeint`` front end, adaptive reference solvers, and adjoint-method
+gradients (Equations 7–9).
+"""
+
+from .adaptive import AdaptiveResult, AdaptiveSolver, adaptive_integrate, dopri5, heun_euler
+from .adjoint import adjoint_backward, odeint_adjoint, vjp
+from .odeint import odeint, odesolve
+from .solvers import (
+    EULER,
+    HEUN,
+    MIDPOINT,
+    RK4,
+    ButcherTableau,
+    FixedGridSolver,
+    available_methods,
+    get_solver,
+    solver_order,
+    steps_for_interval,
+)
+
+__all__ = [
+    "ButcherTableau",
+    "FixedGridSolver",
+    "EULER",
+    "MIDPOINT",
+    "HEUN",
+    "RK4",
+    "get_solver",
+    "available_methods",
+    "solver_order",
+    "steps_for_interval",
+    "odesolve",
+    "odeint",
+    "odeint_adjoint",
+    "adjoint_backward",
+    "vjp",
+    "AdaptiveSolver",
+    "AdaptiveResult",
+    "adaptive_integrate",
+    "dopri5",
+    "heun_euler",
+]

@@ -1,0 +1,229 @@
+"""Adaptive step-size ODE solvers.
+
+The paper only evaluates fixed-step Euler on the FPGA, but its discussion of
+solver choice (Section 2.3: "a fourth-order Runge-Kutta method is used for
+training with high accuracy, while Euler method is used for prediction") and
+the future-work section motivate an adaptive reference solver.  Two embedded
+Runge–Kutta pairs are provided:
+
+* ``rk12`` — Heun–Euler (order 2(1)), the cheapest adaptive pair.
+* ``rk45`` — Dormand–Prince 5(4), the solver used by ``torchdiffeq``'s
+  default ``dopri5`` method.
+
+They operate on plain NumPy arrays (they are reference solvers for accuracy
+comparisons and for validating the fixed-grid methods, not training paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+__all__ = ["AdaptiveResult", "AdaptiveSolver", "heun_euler", "dopri5", "adaptive_integrate"]
+
+DynamicsFn = Callable[[np.ndarray, float], np.ndarray]
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of an adaptive integration."""
+
+    y: np.ndarray
+    t: float
+    num_steps: int
+    num_rejected: int
+    num_function_evals: int
+    times: List[float] = field(default_factory=list)
+    states: List[np.ndarray] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _EmbeddedTableau:
+    name: str
+    order: int
+    a: Tuple[Tuple[float, ...], ...]
+    b_high: Tuple[float, ...]
+    b_low: Tuple[float, ...]
+    c: Tuple[float, ...]
+
+    @property
+    def stages(self) -> int:
+        return len(self.b_high)
+
+
+_HEUN_EULER = _EmbeddedTableau(
+    name="rk12",
+    order=2,
+    a=((), (1.0,)),
+    b_high=(0.5, 0.5),
+    b_low=(1.0, 0.0),
+    c=(0.0, 1.0),
+)
+
+_DOPRI5 = _EmbeddedTableau(
+    name="rk45",
+    order=5,
+    a=(
+        (),
+        (1 / 5,),
+        (3 / 40, 9 / 40),
+        (44 / 45, -56 / 15, 32 / 9),
+        (19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729),
+        (9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656),
+        (35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84),
+    ),
+    b_high=(35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0),
+    b_low=(
+        5179 / 57600,
+        0.0,
+        7571 / 16695,
+        393 / 640,
+        -92097 / 339200,
+        187 / 2100,
+        1 / 40,
+    ),
+    c=(0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0),
+)
+
+
+class AdaptiveSolver:
+    """Embedded Runge–Kutta pair with PI-free step-size control."""
+
+    def __init__(
+        self,
+        tableau: _EmbeddedTableau,
+        rtol: float = 1e-6,
+        atol: float = 1e-8,
+        safety: float = 0.9,
+        min_factor: float = 0.2,
+        max_factor: float = 5.0,
+        max_steps: int = 100_000,
+    ) -> None:
+        self.tableau = tableau
+        self.rtol = rtol
+        self.atol = atol
+        self.safety = safety
+        self.min_factor = min_factor
+        self.max_factor = max_factor
+        self.max_steps = max_steps
+
+    @property
+    def name(self) -> str:
+        return self.tableau.name
+
+    def _error_norm(self, error: np.ndarray, y0: np.ndarray, y1: np.ndarray) -> float:
+        scale = self.atol + self.rtol * np.maximum(np.abs(y0), np.abs(y1))
+        return float(np.sqrt(np.mean((error / scale) ** 2)))
+
+    def _step(
+        self, func: DynamicsFn, y: np.ndarray, t: float, h: float
+    ) -> Tuple[np.ndarray, float, int]:
+        tab = self.tableau
+        ks: List[np.ndarray] = []
+        for i in range(tab.stages):
+            yi = y.copy()
+            for j, coeff in enumerate(tab.a[i]):
+                if coeff != 0.0:
+                    yi += h * coeff * ks[j]
+            ks.append(np.asarray(func(yi, t + tab.c[i] * h)))
+        y_high = y.copy()
+        y_low = y.copy()
+        for bh, bl, k in zip(tab.b_high, tab.b_low, ks):
+            if bh != 0.0:
+                y_high = y_high + h * bh * k
+            if bl != 0.0:
+                y_low = y_low + h * bl * k
+        error = self._error_norm(y_high - y_low, y, y_high)
+        return y_high, error, tab.stages
+
+    def integrate(
+        self,
+        func: DynamicsFn,
+        y0: np.ndarray,
+        t0: float,
+        t1: float,
+        first_step: float | None = None,
+        record: bool = False,
+    ) -> AdaptiveResult:
+        """Integrate from ``t0`` to ``t1`` with adaptive step-size control."""
+
+        y = np.asarray(y0, dtype=np.float64).copy()
+        direction = 1.0 if t1 >= t0 else -1.0
+        span = abs(t1 - t0)
+        if span == 0.0:
+            return AdaptiveResult(y=y, t=t0, num_steps=0, num_rejected=0, num_function_evals=0)
+        h = direction * (first_step if first_step is not None else span / 100.0)
+
+        t = t0
+        steps = 0
+        rejected = 0
+        fevals = 0
+        times = [t0]
+        states = [y.copy()]
+        while (t - t1) * direction < 0.0:
+            if steps + rejected > self.max_steps:
+                raise RuntimeError("adaptive solver exceeded the maximum number of steps")
+            if (t + h - t1) * direction > 0.0:
+                h = t1 - t
+            y_new, error, evals = self._step(func, y, t, h)
+            fevals += evals
+            if error <= 1.0 or abs(h) <= 1e-14 * span:
+                t += h
+                y = y_new
+                steps += 1
+                if record:
+                    times.append(t)
+                    states.append(y.copy())
+            else:
+                rejected += 1
+            # Step-size update (standard controller).
+            if error == 0.0:
+                factor = self.max_factor
+            else:
+                factor = self.safety * error ** (-1.0 / self.tableau.order)
+                factor = min(self.max_factor, max(self.min_factor, factor))
+            h *= factor
+        return AdaptiveResult(
+            y=y,
+            t=t,
+            num_steps=steps,
+            num_rejected=rejected,
+            num_function_evals=fevals,
+            times=times if record else [],
+            states=states if record else [],
+        )
+
+
+def heun_euler(rtol: float = 1e-4, atol: float = 1e-6, **kwargs) -> AdaptiveSolver:
+    """Adaptive Heun–Euler (RK2(1)) solver."""
+
+    return AdaptiveSolver(_HEUN_EULER, rtol=rtol, atol=atol, **kwargs)
+
+
+def dopri5(rtol: float = 1e-6, atol: float = 1e-8, **kwargs) -> AdaptiveSolver:
+    """Adaptive Dormand–Prince 5(4) solver (torchdiffeq's default)."""
+
+    return AdaptiveSolver(_DOPRI5, rtol=rtol, atol=atol, **kwargs)
+
+
+def adaptive_integrate(
+    func: DynamicsFn,
+    y0: np.ndarray,
+    t0: float,
+    t1: float,
+    method: str = "rk45",
+    rtol: float = 1e-6,
+    atol: float = 1e-8,
+) -> AdaptiveResult:
+    """Convenience wrapper selecting an adaptive solver by name."""
+
+    method = method.lower()
+    if method in ("rk12", "heun_euler", "adaptive_heun"):
+        solver = heun_euler(rtol=rtol, atol=atol)
+    elif method in ("rk45", "dopri5"):
+        solver = dopri5(rtol=rtol, atol=atol)
+    else:
+        raise ValueError(f"unknown adaptive method '{method}'")
+    return solver.integrate(func, y0, t0, t1)

@@ -1,0 +1,15 @@
+"""Training substrate: the paper's SGD recipe, training loop and metrics."""
+
+from .metrics import EpochMetrics, RunningAverage, TrainingHistory
+from .schedule import PaperTrainingSchedule, make_paper_optimizer
+from .trainer import Trainer, evaluate
+
+__all__ = [
+    "Trainer",
+    "evaluate",
+    "PaperTrainingSchedule",
+    "make_paper_optimizer",
+    "EpochMetrics",
+    "TrainingHistory",
+    "RunningAverage",
+]

@@ -1,0 +1,60 @@
+"""Tests for the plain-text table renderer."""
+
+from __future__ import annotations
+
+from repro.analysis import format_records, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["col"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000123], [12345.6], [1.5], [0]])
+        assert "0.000123" in text
+        assert "1.23e+04" in text
+        assert "1.5" in text
+
+    def test_column_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer-name", 22]])
+        lines = text.splitlines()
+        # All rows have the same width for the first column.
+        assert lines[2].index("1") == lines[3].index("22")
+
+
+class TestFormatRecords:
+    def test_uses_first_record_keys(self):
+        text = format_records([{"x": 1, "y": 2}, {"x": 3, "y": 4}])
+        assert text.splitlines()[0].split() == ["x", "y"]
+
+    def test_empty_records(self):
+        assert format_records([], title="Empty") == "Empty"
+        assert format_records([]) == "(empty)"
+
+    def test_missing_keys_render_blank(self):
+        text = format_records([{"x": 1, "y": 2}, {"x": 3}])
+        assert "3" in text
+
+
+class TestFormatSeries:
+    def test_series_layout(self):
+        series = {"ResNet": {20: 1.0, 56: 3.0}, "ODENet": {20: 0.7, 56: 0.7}}
+        text = format_series(series, x_label="N", title="Sizes")
+        lines = text.splitlines()
+        assert lines[0] == "Sizes"
+        assert "20" in lines[2] and "56" in lines[2]
+        assert any(line.startswith("ResNet") for line in lines)
+
+    def test_missing_points_blank(self):
+        series = {"A": {20: 1.0}, "B": {56: 2.0}}
+        text = format_series(series)
+        assert "A" in text and "B" in text

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_synthetic_cifar, train_test_split
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for each test."""
+
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small 4-class synthetic dataset (shared across the session)."""
+
+    return make_synthetic_cifar(
+        num_samples=64, num_classes=4, image_size=16, channels=3, difficulty=0.3, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    """Train/test split of the tiny dataset."""
+
+    return train_test_split(tiny_dataset, test_fraction=0.25, seed=3)
+
+
+def numeric_gradient(fn, array: np.ndarray, indices, eps: float = 1e-6):
+    """Central-difference numeric gradient of ``fn()`` w.r.t. array[indices]."""
+
+    grads = []
+    for idx in indices:
+        original = array[idx]
+        array[idx] = original + eps
+        f_plus = fn()
+        array[idx] = original - eps
+        f_minus = fn()
+        array[idx] = original
+        grads.append((f_plus - f_minus) / (2.0 * eps))
+    return np.asarray(grads)
+
+
+@pytest.fixture
+def gradcheck():
+    """Expose the numeric-gradient helper as a fixture."""
+
+    return numeric_gradient

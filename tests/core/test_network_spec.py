@@ -1,0 +1,97 @@
+"""Tests for the static network description (Table 2 geometry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LAYER_ORDER, NETWORK_LAYERS, OFFLOADABLE_LAYER_NAMES, layer_geometry
+from repro.fpga import LAYER1, LAYER2_2, LAYER3_2
+
+
+class TestLayerInventory:
+    def test_layer_order(self):
+        assert LAYER_ORDER == ("conv1", "layer1", "layer2_1", "layer2_2", "layer3_1", "layer3_2", "fc")
+
+    def test_offloadable_names(self):
+        assert OFFLOADABLE_LAYER_NAMES == ("layer1", "layer2_2", "layer3_2")
+
+    def test_output_sizes_match_table2(self):
+        assert (NETWORK_LAYERS["conv1"].out_channels, NETWORK_LAYERS["conv1"].out_height) == (16, 32)
+        assert (NETWORK_LAYERS["layer1"].out_channels, NETWORK_LAYERS["layer1"].out_height) == (16, 32)
+        assert (NETWORK_LAYERS["layer2_1"].out_channels, NETWORK_LAYERS["layer2_1"].out_height) == (32, 16)
+        assert (NETWORK_LAYERS["layer2_2"].out_channels, NETWORK_LAYERS["layer2_2"].out_height) == (32, 16)
+        assert (NETWORK_LAYERS["layer3_1"].out_channels, NETWORK_LAYERS["layer3_1"].out_height) == (64, 8)
+        assert (NETWORK_LAYERS["layer3_2"].out_channels, NETWORK_LAYERS["layer3_2"].out_height) == (64, 8)
+        assert NETWORK_LAYERS["fc"].out_channels == 100
+
+    def test_strides(self):
+        assert NETWORK_LAYERS["layer2_1"].stride == 2
+        assert NETWORK_LAYERS["layer3_1"].stride == 2
+        assert NETWORK_LAYERS["layer1"].stride == 1
+
+    def test_unknown_layer(self):
+        with pytest.raises(KeyError):
+            layer_geometry("layer4")
+
+
+class TestParameterCounts:
+    """Per-layer parameter sizes must match Table 2 exactly."""
+
+    @pytest.mark.parametrize(
+        "layer,as_ode,expected_kb",
+        [
+            ("conv1", False, 1.856),
+            ("layer1", True, 19.84),
+            ("layer2_1", False, 55.808),
+            ("layer2_2", True, 76.544),
+            ("layer3_1", False, 222.208),
+            ("layer3_2", True, 300.544),
+            ("fc", False, 26.0),
+        ],
+    )
+    def test_table2_kilobytes(self, layer, as_ode, expected_kb):
+        geometry = layer_geometry(layer)
+        assert geometry.parameter_kilobytes(as_odeblock=as_ode) == pytest.approx(expected_kb, abs=0.005)
+
+    def test_odeblock_adds_one_input_channel_per_conv(self):
+        plain = layer_geometry("layer3_2").parameter_count(as_odeblock=False)
+        ode = layer_geometry("layer3_2").parameter_count(as_odeblock=True)
+        assert ode - plain == 2 * 64 * 9  # one extra input channel on both 3x3 convs
+
+    def test_plain_block_parameter_formula(self):
+        geom = layer_geometry("layer1")
+        assert geom.parameter_count() == 2 * 16 * 16 * 9 + 4 * 16
+
+    def test_fc_parameters(self):
+        assert layer_geometry("fc").parameter_count() == 64 * 100 + 100
+
+
+class TestWorkProfile:
+    def test_all_repeated_blocks_have_equal_macs(self):
+        macs = {layer_geometry(l).macs for l in ("layer1", "layer2_2", "layer3_2")}
+        assert len(macs) == 1
+
+    def test_downsample_blocks_cheaper_than_repeated_blocks(self):
+        assert layer_geometry("layer2_1").macs < layer_geometry("layer2_2").macs
+        assert layer_geometry("layer3_1").macs < layer_geometry("layer3_2").macs
+
+    def test_conv1_macs(self):
+        assert layer_geometry("conv1").macs == 16 * 3 * 9 * 32 * 32
+
+    def test_fc_macs(self):
+        assert layer_geometry("fc").macs == 6400
+
+    def test_elementwise_passes(self):
+        assert layer_geometry("layer1").elementwise_passes == 4
+        assert layer_geometry("conv1").elementwise_passes == 2
+        assert layer_geometry("fc").elementwise_passes == 1
+
+    def test_fpga_geometry_mapping(self):
+        assert layer_geometry("layer1").fpga_geometry() is LAYER1
+        assert layer_geometry("layer2_2").fpga_geometry() is LAYER2_2
+        assert layer_geometry("layer3_2").fpga_geometry() is LAYER3_2
+
+    def test_non_offloadable_layers_have_no_fpga_geometry(self):
+        for layer in ("conv1", "layer2_1", "layer3_1", "fc"):
+            with pytest.raises(ValueError):
+                layer_geometry(layer).fpga_geometry()

@@ -1,0 +1,128 @@
+"""Tests for the parameter-size model (Table 2, Figure 5, Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    SUPPORTED_DEPTHS,
+    VARIANT_NAMES,
+    parameter_reduction_percent,
+    parameter_size_series,
+    table2_structure,
+    variant_parameter_bytes,
+    variant_parameter_count,
+    variant_spec,
+)
+
+
+class TestTable2:
+    def test_row_count_and_order(self):
+        rows = table2_structure()
+        assert [r.layer for r in rows] == [
+            "conv1", "layer1", "layer2_1", "layer2_2", "layer3_1", "layer3_2", "fc",
+        ]
+
+    @pytest.mark.parametrize(
+        "layer,expected_kb",
+        [
+            ("conv1", 1.86),
+            ("layer1", 19.84),
+            ("layer2_1", 55.81),
+            ("layer2_2", 76.54),
+            ("layer3_1", 222.21),
+            ("layer3_2", 300.54),
+            ("fc", 26.00),
+        ],
+    )
+    def test_parameter_kilobytes_match_paper(self, layer, expected_kb):
+        rows = {r.layer: r for r in table2_structure()}
+        assert rows[layer].parameter_kilobytes == pytest.approx(expected_kb, abs=0.01)
+
+    def test_executions_column(self):
+        rows = {r.layer: r for r in table2_structure()}
+        assert rows["layer1"].executions_per_block == "(N-2)/6"
+        assert rows["layer3_2"].executions_per_block == "(N-8)/6"
+        assert rows["fc"].executions_per_block == "1"
+
+
+class TestSection42Reductions:
+    """The six reduction percentages quoted in Section 4.2."""
+
+    @pytest.mark.parametrize(
+        "variant,depth,expected",
+        [
+            ("ODENet", 20, 36.24),
+            ("rODENet-3", 20, 43.29),
+            ("ODENet", 56, 79.54),
+            ("rODENet-3", 56, 81.80),
+            ("Hybrid-3", 20, 26.43),
+            ("Hybrid-3", 56, 60.16),
+        ],
+    )
+    def test_reduction_percentages(self, variant, depth, expected):
+        assert parameter_reduction_percent(variant, depth) == pytest.approx(expected, abs=0.01)
+
+
+class TestFigure5Shape:
+    def test_resnet_and_hybrid_grow_with_depth(self):
+        series = parameter_size_series()
+        for variant in ("ResNet", "Hybrid-3"):
+            values = [series[variant][d] for d in SUPPORTED_DEPTHS]
+            assert all(a < b for a, b in zip(values, values[1:])), variant
+
+    def test_ode_variants_independent_of_depth(self):
+        """"parameter sizes of ODENet-N and the rODENet variants are independent of N"."""
+
+        series = parameter_size_series()
+        for variant in ("ODENet", "rODENet-1", "rODENet-2", "rODENet-1+2", "rODENet-3"):
+            values = {series[variant][d] for d in SUPPORTED_DEPTHS}
+            assert len(values) == 1, variant
+
+    def test_resnet_always_largest(self):
+        series = parameter_size_series()
+        for depth in SUPPORTED_DEPTHS:
+            resnet = series["ResNet"][depth]
+            for variant in VARIANT_NAMES:
+                assert series[variant][depth] <= resnet
+
+    def test_rodenet1_smallest(self):
+        """rODENet-1 keeps only the cheap 16-channel ODEBlock."""
+
+        series = parameter_size_series()
+        for depth in SUPPORTED_DEPTHS:
+            smallest = min(series[v][depth] for v in VARIANT_NAMES)
+            assert series["rODENet-1"][depth] == smallest
+
+    def test_ordering_of_rodenet_variants(self):
+        series = parameter_size_series()
+        at56 = {v: series[v][56] for v in VARIANT_NAMES}
+        assert at56["rODENet-1"] < at56["rODENet-2"] < at56["rODENet-3"] < at56["ODENet"]
+
+    def test_resnet_parameter_count_formula(self):
+        """ResNet-20 total parameters computed independently."""
+
+        expected = (
+            (16 * 3 * 9 + 32)                    # conv1 + BN
+            + 3 * (2 * 16 * 16 * 9 + 64)          # layer1: 3 plain blocks
+            + (32 * 16 * 9 + 32 * 32 * 9 + 128)   # layer2_1
+            + 2 * (2 * 32 * 32 * 9 + 128)          # layer2_2
+            + (64 * 32 * 9 + 64 * 64 * 9 + 256)   # layer3_1
+            + 2 * (2 * 64 * 64 * 9 + 256)          # layer3_2
+            + (64 * 100 + 100)                     # fc
+        )
+        assert variant_parameter_count("ResNet", 20) == expected
+
+    def test_bytes_are_4x_count(self):
+        assert variant_parameter_bytes("ODENet", 32) == 4 * variant_parameter_count("ODENet", 32)
+
+    def test_accepts_spec_object(self):
+        spec = variant_spec("rODENet-3", 44)
+        assert variant_parameter_count(spec) == variant_parameter_count("rODENet-3", 44)
+
+    def test_removed_layers_contribute_nothing(self):
+        with_layer = variant_parameter_count("rODENet-2", 20)
+        without = variant_parameter_count("rODENet-1", 20)
+        # rODENet-1 removes layer2_2 entirely, so it must be smaller than
+        # rODENet-2 which keeps an ODEBlock there.
+        assert without < with_layer

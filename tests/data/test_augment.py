@@ -1,0 +1,77 @@
+"""Tests for the CIFAR-style augmentation pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import random_crop, random_horizontal_flip, standard_cifar_augment
+
+
+@pytest.fixture
+def images(rng):
+    return rng.normal(size=(8, 3, 16, 16))
+
+
+class TestRandomCrop:
+    def test_shape_preserved(self, images, rng):
+        out = random_crop(images, padding=2, rng=rng)
+        assert out.shape == images.shape
+
+    def test_zero_padding_visible_at_edges(self, rng):
+        ones = np.ones((4, 1, 8, 8))
+        out = random_crop(ones, padding=4, rng=np.random.default_rng(0))
+        # With 4-pixel padding on an 8-pixel image, most crops include zeros.
+        assert out.min() == 0.0
+
+    def test_deterministic_with_seed(self, images):
+        a = random_crop(images, rng=np.random.default_rng(3))
+        b = random_crop(images, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_content_preserved_as_subwindow(self, rng):
+        """Every cropped image is a sub-window of the padded original."""
+
+        image = rng.normal(size=(1, 1, 6, 6))
+        out = random_crop(image, padding=1, rng=np.random.default_rng(1))
+        padded = np.pad(image, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        found = any(
+            np.allclose(out[0, 0], padded[0, 0, i : i + 6, j : j + 6])
+            for i in range(3)
+            for j in range(3)
+        )
+        assert found
+
+
+class TestRandomFlip:
+    def test_probability_zero_is_identity(self, images, rng):
+        np.testing.assert_array_equal(random_horizontal_flip(images, 0.0, rng), images)
+
+    def test_probability_one_flips_everything(self, images, rng):
+        out = random_horizontal_flip(images, 1.0, rng)
+        np.testing.assert_array_equal(out, images[:, :, :, ::-1])
+
+    def test_double_flip_is_identity(self, images):
+        flipped = random_horizontal_flip(images, 1.0, np.random.default_rng(0))
+        back = random_horizontal_flip(flipped, 1.0, np.random.default_rng(0))
+        np.testing.assert_array_equal(back, images)
+
+    def test_original_not_modified(self, images, rng):
+        snapshot = images.copy()
+        random_horizontal_flip(images, 0.5, rng)
+        np.testing.assert_array_equal(images, snapshot)
+
+
+class TestStandardAugment:
+    def test_shape_and_determinism(self, images):
+        a = standard_cifar_augment(images, rng=np.random.default_rng(7))
+        b = standard_cifar_augment(images, rng=np.random.default_rng(7))
+        assert a.shape == images.shape
+        np.testing.assert_array_equal(a, b)
+
+    def test_statistics_roughly_preserved(self, rng):
+        images = rng.normal(size=(64, 3, 16, 16))
+        out = standard_cifar_augment(images, rng=rng, padding=2)
+        # Zero padding pulls the mean toward zero slightly but the overall
+        # scale must remain comparable.
+        assert out.std() == pytest.approx(images.std(), rel=0.25)

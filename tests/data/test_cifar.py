@@ -1,0 +1,55 @@
+"""Tests for the CIFAR-100 loader and its synthetic fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import cifar100_available, load_cifar100
+
+
+class TestFallbackBehaviour:
+    def test_not_available_in_clean_directory(self, tmp_path):
+        assert not cifar100_available(tmp_path)
+
+    def test_fallback_dataset_shape(self, tmp_path):
+        ds = load_cifar100(root=tmp_path, split="train", fallback_samples=120)
+        assert ds.images.shape == (120, 3, 32, 32)
+        assert ds.num_classes == 100
+        assert ds.name.startswith("synthetic-cifar100")
+
+    def test_train_and_test_fallbacks_differ(self, tmp_path):
+        train = load_cifar100(root=tmp_path, split="train", fallback_samples=100)
+        test = load_cifar100(root=tmp_path, split="test", fallback_samples=100)
+        assert not np.allclose(train.images, test.images)
+
+    def test_invalid_split_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_cifar100(root=tmp_path, split="validation")
+
+
+class TestRealLoaderPath:
+    def test_loads_pickled_cifar_format(self, tmp_path):
+        """When the official pickle files exist they are parsed correctly."""
+
+        import pickle
+
+        base = tmp_path / "cifar-100-python"
+        base.mkdir()
+        rng = np.random.default_rng(0)
+        for split, n in (("train", 20), ("test", 10)):
+            payload = {
+                "data": rng.integers(0, 256, size=(n, 3072), dtype=np.int64),
+                "fine_labels": rng.integers(0, 100, size=n).tolist(),
+            }
+            with open(base / split, "wb") as handle:
+                pickle.dump(payload, handle)
+
+        assert cifar100_available(tmp_path)
+        ds = load_cifar100(root=tmp_path, split="train")
+        assert ds.name == "cifar100-train"
+        assert ds.images.shape == (20, 3, 32, 32)
+        # Images are normalised: values should be roughly centred.
+        assert abs(ds.images.mean()) < 2.0
+        test = load_cifar100(root=tmp_path, split="test")
+        assert len(test) == 10

@@ -1,0 +1,58 @@
+"""Tests for the mini-batch loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, make_synthetic_cifar
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_synthetic_cifar(num_samples=50, num_classes=5, image_size=8, seed=0)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self, dataset):
+        loader = DataLoader(dataset, batch_size=16, shuffle=False)
+        images, labels = next(iter(loader))
+        assert images.shape == (16, 3, 8, 8)
+        assert labels.shape == (16,)
+
+    def test_len_with_and_without_drop_last(self, dataset):
+        assert len(DataLoader(dataset, batch_size=16)) == 4
+        assert len(DataLoader(dataset, batch_size=16, drop_last=True)) == 3
+
+    def test_iterates_whole_dataset(self, dataset):
+        loader = DataLoader(dataset, batch_size=16, shuffle=True)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == 50
+
+    def test_drop_last_discards_partial_batch(self, dataset):
+        loader = DataLoader(dataset, batch_size=16, drop_last=True)
+        sizes = [len(labels) for _, labels in loader]
+        assert sizes == [16, 16, 16]
+
+    def test_shuffle_changes_order_between_epochs(self, dataset):
+        loader = DataLoader(dataset, batch_size=50, shuffle=True, seed=0)
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1].copy()
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_preserves_order(self, dataset):
+        loader = DataLoader(dataset, batch_size=50, shuffle=False)
+        _, labels = next(iter(loader))
+        np.testing.assert_array_equal(labels, dataset.labels)
+
+    def test_augmentation_changes_images(self, dataset):
+        plain = DataLoader(dataset, batch_size=8, shuffle=False, augment=False)
+        augmented = DataLoader(dataset, batch_size=8, shuffle=False, augment=True, seed=0)
+        p_images, _ = next(iter(plain))
+        a_images, _ = next(iter(augmented))
+        assert not np.allclose(p_images, a_images)
+        assert a_images.shape == p_images.shape
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(ValueError):
+            DataLoader(dataset, batch_size=0)

@@ -1,0 +1,104 @@
+"""Tests for the vectorised FxArray type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import FxArray, Q8, Q16, Q20
+
+
+class TestConstruction:
+    def test_from_float_roundtrip(self, rng):
+        values = rng.uniform(-10, 10, size=(3, 4))
+        arr = FxArray.from_float(values, Q20)
+        np.testing.assert_allclose(arr.to_float(), values, atol=Q20.resolution)
+
+    def test_zeros(self):
+        arr = FxArray.zeros((2, 3))
+        assert arr.shape == (2, 3)
+        assert np.all(arr.raw == 0)
+
+    def test_shape_size_ndim_len(self):
+        arr = FxArray.zeros((4, 5))
+        assert arr.shape == (4, 5) and arr.size == 20 and arr.ndim == 2 and len(arr) == 4
+
+    def test_reshape_and_getitem(self, rng):
+        arr = FxArray.from_float(rng.normal(size=(2, 6)))
+        reshaped = arr.reshape(3, 4)
+        assert reshaped.shape == (3, 4)
+        sliced = arr[0]
+        assert sliced.shape == (6,)
+
+    def test_astype_changes_format(self):
+        arr = FxArray.from_float(np.array([1.2345]), Q20)
+        coarse = arr.astype(Q8)
+        assert coarse.fmt == Q8
+        assert abs(coarse.to_float()[0] - 1.2345) <= Q8.resolution
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self, rng):
+        a_values = rng.uniform(-5, 5, 20)
+        b_values = rng.uniform(-5, 5, 20)
+        a, b = FxArray.from_float(a_values), FxArray.from_float(b_values)
+        np.testing.assert_allclose((a + b).to_float(), a_values + b_values, atol=1e-5)
+        np.testing.assert_allclose((a - b).to_float(), a_values - b_values, atol=1e-5)
+        np.testing.assert_allclose((a * b).to_float(), a_values * b_values, atol=1e-4)
+
+    def test_scalar_operands(self):
+        a = FxArray.from_float(np.array([1.0, 2.0]))
+        np.testing.assert_allclose((a + 0.5).to_float(), [1.5, 2.5])
+        np.testing.assert_allclose((2.0 * a).to_float(), [2.0, 4.0], atol=1e-5)
+        np.testing.assert_allclose((1.0 - a).to_float(), [0.0, -1.0])
+
+    def test_neg(self):
+        a = FxArray.from_float(np.array([1.5, -2.0]))
+        np.testing.assert_allclose((-a).to_float(), [-1.5, 2.0])
+
+    def test_division(self):
+        a = FxArray.from_float(np.array([3.0]))
+        b = FxArray.from_float(np.array([2.0]))
+        assert (a / b).to_float()[0] == pytest.approx(1.5, abs=1e-5)
+
+    def test_format_mismatch_rejected(self):
+        a = FxArray.from_float(np.array([1.0]), Q20)
+        b = FxArray.from_float(np.array([1.0]), Q16)
+        with pytest.raises(ValueError, match="format mismatch"):
+            a + b
+
+    def test_equality_and_hash(self):
+        a = FxArray.from_float(np.array([1.0]))
+        b = FxArray.from_float(np.array([1.0]))
+        assert a == b
+        with pytest.raises(TypeError):
+            hash(a)
+
+
+class TestElementwise:
+    def test_relu(self):
+        a = FxArray.from_float(np.array([-1.0, 2.0]))
+        np.testing.assert_allclose(a.relu().to_float(), [0.0, 2.0])
+
+    def test_sqrt(self):
+        a = FxArray.from_float(np.array([4.0, 9.0]))
+        np.testing.assert_allclose(a.sqrt().to_float(), [2.0, 3.0], atol=1e-5)
+
+    def test_mean_var_sum(self, rng):
+        values = rng.uniform(-3, 3, size=(4, 64))
+        arr = FxArray.from_float(values)
+        np.testing.assert_allclose(arr.mean(axis=1).to_float(), values.mean(axis=1), atol=1e-4)
+        np.testing.assert_allclose(arr.var(axis=1).to_float(), values.var(axis=1), atol=1e-3)
+        np.testing.assert_allclose(arr.sum(axis=1).to_float(), values.sum(axis=1), atol=1e-3)
+
+    def test_matmul_float(self, rng):
+        x = rng.uniform(-1, 1, size=(5, 8))
+        w = rng.uniform(-1, 1, size=(3, 8))
+        result = FxArray.from_float(x).matmul_float(w)
+        np.testing.assert_allclose(result.to_float(), x @ w.T, atol=1e-4)
+
+    def test_max_abs_error(self, rng):
+        values = rng.uniform(-1, 1, size=100)
+        arr = FxArray.from_float(values, Q8)
+        err = arr.max_abs_error(values)
+        assert 0 <= err <= Q8.resolution

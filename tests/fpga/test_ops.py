@@ -1,0 +1,134 @@
+"""Tests for the bit-accurate fixed-point hardware operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import FxArray, Q20
+from repro.fpga.ops import hw_batch_norm, hw_conv2d, hw_relu, hw_residual_add
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.layers import Parameter
+
+
+def _float_conv_single_image(x, w, stride=1, padding=1):
+    out = F.conv2d(Tensor(x[None, ...]), Tensor(w), stride=stride, padding=padding)
+    return out.data[0]
+
+
+class TestHwConv2d:
+    def test_matches_float_reference_within_quantization(self, rng):
+        x = rng.normal(0, 0.5, size=(4, 6, 6))
+        w = rng.normal(0, 0.2, size=(4, 4, 3, 3))
+        hw_out = hw_conv2d(FxArray.from_float(x), FxArray.from_float(w)).to_float()
+        ref = _float_conv_single_image(x, w)
+        np.testing.assert_allclose(hw_out, ref, atol=1e-3)
+
+    def test_stride_2(self, rng):
+        x = rng.normal(size=(2, 8, 8)) * 0.3
+        w = rng.normal(size=(3, 2, 3, 3)) * 0.2
+        out = hw_conv2d(FxArray.from_float(x), FxArray.from_float(w), stride=2)
+        assert out.shape == (3, 4, 4)
+
+    def test_requires_single_image(self, rng):
+        x = FxArray.from_float(rng.normal(size=(1, 2, 4, 4)))
+        w = FxArray.from_float(rng.normal(size=(2, 2, 3, 3)))
+        with pytest.raises(ValueError, match="single"):
+            hw_conv2d(x, w)
+
+    def test_channel_mismatch(self, rng):
+        x = FxArray.from_float(rng.normal(size=(3, 4, 4)))
+        w = FxArray.from_float(rng.normal(size=(2, 2, 3, 3)))
+        with pytest.raises(ValueError, match="channel mismatch"):
+            hw_conv2d(x, w)
+
+    def test_format_mismatch(self, rng):
+        from repro.fixedpoint import Q16
+
+        x = FxArray.from_float(rng.normal(size=(2, 4, 4)), Q20)
+        w = FxArray.from_float(rng.normal(size=(2, 2, 3, 3)), Q16)
+        with pytest.raises(ValueError, match="formats must match"):
+            hw_conv2d(x, w)
+
+
+class TestHwBatchNorm:
+    def test_dynamic_stats_normalise_per_channel(self, rng):
+        x = rng.normal(3.0, 2.0, size=(4, 16, 16))
+        out = hw_batch_norm(
+            FxArray.from_float(x),
+            FxArray.from_float(np.ones(4)),
+            FxArray.from_float(np.zeros(4)),
+            dynamic_stats=True,
+        ).to_float()
+        assert abs(out.mean()) < 0.05
+        assert out.std() == pytest.approx(1.0, abs=0.1)
+
+    def test_running_stats_affine(self, rng):
+        x = rng.normal(size=(2, 4, 4))
+        out = hw_batch_norm(
+            FxArray.from_float(x),
+            FxArray.from_float(np.full(2, 2.0)),
+            FxArray.from_float(np.full(2, 0.5)),
+            running_mean=FxArray.from_float(np.zeros(2)),
+            running_var=FxArray.from_float(np.ones(2)),
+            dynamic_stats=False,
+        ).to_float()
+        np.testing.assert_allclose(out, 2.0 * x + 0.5, atol=1e-2)
+
+    def test_missing_running_stats_rejected(self, rng):
+        x = FxArray.from_float(rng.normal(size=(2, 4, 4)))
+        with pytest.raises(ValueError, match="running statistics"):
+            hw_batch_norm(
+                x,
+                FxArray.from_float(np.ones(2)),
+                FxArray.from_float(np.zeros(2)),
+                dynamic_stats=False,
+            )
+
+    def test_matches_software_eval_batchnorm(self, rng):
+        """Fixed-point BN with running stats tracks the float eval-mode BN."""
+
+        x = rng.normal(size=(3, 8, 8))
+        gamma, beta = rng.normal(1, 0.1, 3), rng.normal(0, 0.1, 3)
+        mean, var = rng.normal(0, 0.2, 3), rng.uniform(0.5, 1.5, 3)
+        hw = hw_batch_norm(
+            FxArray.from_float(x),
+            FxArray.from_float(gamma),
+            FxArray.from_float(beta),
+            running_mean=FxArray.from_float(mean),
+            running_var=FxArray.from_float(var),
+            dynamic_stats=False,
+        ).to_float()
+        sw = F.batch_norm2d(
+            Tensor(x[None]), Parameter(gamma), Parameter(beta), mean.copy(), var.copy(), training=False
+        ).data[0]
+        np.testing.assert_allclose(hw, sw, atol=5e-3)
+
+
+class TestReluAndResidual:
+    def test_relu(self, rng):
+        x = rng.normal(size=(2, 4, 4))
+        out = hw_relu(FxArray.from_float(x)).to_float()
+        np.testing.assert_allclose(out, np.maximum(x, 0), atol=1e-6)
+
+    def test_residual_add_step_one(self, rng):
+        z = rng.normal(size=(2, 3, 3))
+        f = rng.normal(size=(2, 3, 3))
+        out = hw_residual_add(FxArray.from_float(z), FxArray.from_float(f), step_size=1.0)
+        np.testing.assert_allclose(out.to_float(), z + f, atol=1e-5)
+
+    def test_residual_add_fractional_step(self, rng):
+        z = rng.normal(size=(2, 3, 3))
+        f = rng.normal(size=(2, 3, 3))
+        out = hw_residual_add(FxArray.from_float(z), FxArray.from_float(f), step_size=0.5)
+        np.testing.assert_allclose(out.to_float(), z + 0.5 * f, atol=1e-4)
+
+    def test_residual_format_mismatch(self, rng):
+        from repro.fixedpoint import Q16
+
+        with pytest.raises(ValueError):
+            hw_residual_add(
+                FxArray.from_float(rng.normal(size=(1, 2, 2)), Q20),
+                FxArray.from_float(rng.normal(size=(1, 2, 2)), Q16),
+            )

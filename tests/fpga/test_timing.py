@@ -1,0 +1,57 @@
+"""Tests for the timing-closure model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fpga import DEFAULT_TIMING_MODEL, TimingModel, TimingModelConfig
+
+
+class TestPaperTimingObservation:
+    """Section 3.1: conv_x32 fails 100 MHz; conv_x16 and below pass."""
+
+    @pytest.mark.parametrize("n_units", [1, 4, 8, 16])
+    def test_up_to_x16_meets_timing(self, n_units):
+        assert DEFAULT_TIMING_MODEL.analyze(n_units).meets_timing
+
+    def test_x32_fails_timing(self):
+        assert not DEFAULT_TIMING_MODEL.analyze(32).meets_timing
+
+    def test_max_units_meeting_timing_is_16(self):
+        assert DEFAULT_TIMING_MODEL.max_units_meeting_timing() == 16
+
+
+class TestTimingModelBehaviour:
+    def test_critical_path_monotone_in_units(self):
+        model = TimingModel()
+        paths = [model.critical_path_ns(n) for n in (1, 2, 4, 8, 16, 32)]
+        assert all(a < b for a, b in zip(paths, paths[1:]))
+
+    def test_fmax_inverse_of_path(self):
+        model = TimingModel()
+        assert model.fmax_hz(8) == pytest.approx(1e9 / model.critical_path_ns(8))
+
+    def test_slack_sign_matches_meets_timing(self):
+        model = TimingModel()
+        for n in (1, 16, 32):
+            report = model.analyze(n)
+            assert (report.slack_ns >= 0) == report.meets_timing
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            TimingModel().critical_path_ns(0)
+
+    def test_lower_target_clock_always_passes(self):
+        model = TimingModel()
+        assert model.analyze(32, target_hz=50e6).meets_timing
+
+    def test_sweep_and_report_dict(self):
+        sweep = TimingModel().sweep((1, 16, 32))
+        assert set(sweep) == {1, 16, 32}
+        d = sweep[16].as_dict()
+        assert {"n_units", "fmax_mhz", "meets_timing", "slack_ns"} <= set(d)
+
+    def test_no_feasible_configuration_raises(self):
+        config = TimingModelConfig(base_delay_ns=50.0)
+        with pytest.raises(RuntimeError):
+            TimingModel(config).max_units_meeting_timing(candidates=(8, 16))

@@ -1,0 +1,73 @@
+"""Tests for the PS software-execution-time model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExecutionTimeModel, layer_geometry
+from repro.hwsw import PsModelConfig, SoftwareCostModel
+
+
+class TestSoftwareCostModel:
+    def test_zero_work_costs_nothing(self):
+        assert SoftwareCostModel().work_time(0, 0, 0) == 0.0
+
+    def test_time_linear_in_macs(self):
+        model = SoftwareCostModel()
+        assert model.work_time(2_000_000) == pytest.approx(2 * model.work_time(1_000_000))
+
+    def test_elementwise_term(self):
+        cfg = PsModelConfig(cycles_per_mac=0.0, cycles_per_element=10.0, clock_hz=1e6)
+        model = SoftwareCostModel(cfg)
+        assert model.work_time(0, elements=100, passes=2) == pytest.approx(2e-3)
+
+    def test_describe_keys(self):
+        d = SoftwareCostModel().describe()
+        assert {"clock_mhz", "cycles_per_mac", "cycles_per_element", "per_image_overhead_s"} <= set(d)
+        assert d["clock_mhz"] == pytest.approx(650.0)
+
+    def test_per_image_overhead(self):
+        assert SoftwareCostModel().per_image_overhead() == pytest.approx(0.028)
+
+
+class TestCalibrationAgainstResNetTotals:
+    """The model's ResNet-N totals must track the four published values."""
+
+    @pytest.mark.parametrize(
+        "depth,published", [(20, 0.54), (32, 0.89), (44, 1.24), (56, 1.58)]
+    )
+    def test_resnet_totals(self, depth, published):
+        report = ExecutionTimeModel().report("ResNet", depth)
+        assert report.total_without_pl == pytest.approx(published, rel=0.05)
+
+    def test_per_block_software_times_match_table5_ratios(self):
+        """Per-execution software times derived from Table 5:
+        layer1 ≈ 61.6 ms, layer2_2 ≈ 55.4 ms, layer3_2 ≈ 57.5 ms."""
+
+        model = ExecutionTimeModel()
+        assert model.software_layer_seconds("layer1") == pytest.approx(0.0616, rel=0.05)
+        assert model.software_layer_seconds("layer2_2") == pytest.approx(0.0554, rel=0.08)
+        assert model.software_layer_seconds("layer3_2") == pytest.approx(0.0575, rel=0.05)
+
+    def test_layer1_is_slowest_repeated_block_in_software(self):
+        """layer1 has the most feature-map elements, so its software time is
+        the largest of the three repeated blocks (as Table 5 implies)."""
+
+        model = ExecutionTimeModel()
+        t1 = model.software_layer_seconds("layer1")
+        t22 = model.software_layer_seconds("layer2_2")
+        t32 = model.software_layer_seconds("layer3_2")
+        assert t1 > t32 > 0
+        assert t1 > t22 > 0
+
+    def test_downsample_blocks_cheaper(self):
+        model = ExecutionTimeModel()
+        assert model.software_layer_seconds("layer2_1") < model.software_layer_seconds("layer2_2")
+
+    def test_faster_clock_reduces_time(self):
+        slow = SoftwareCostModel(PsModelConfig(clock_hz=650e6))
+        fast = SoftwareCostModel(PsModelConfig(clock_hz=1300e6))
+        geom = layer_geometry("layer3_2")
+        assert fast.block_time(geom.macs, geom.out_elements, 4) == pytest.approx(
+            slow.block_time(geom.macs, geom.out_elements, 4) / 2
+        )

@@ -1,0 +1,182 @@
+"""Single place that checks every quantitative claim reproduced from the paper.
+
+Each test quotes the sentence or table cell it reproduces, so EXPERIMENTS.md
+can point here as the machine-checked record of paper-vs-reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import accuracy_model, figure5_series
+from repro.core import (
+    ExecutionTimeModel,
+    parameter_reduction_percent,
+    table2_structure,
+    variant_spec,
+)
+from repro.fpga import (
+    LAYER3_2,
+    PAPER_LAYER3_2_CYCLES,
+    PUBLISHED_TABLE3,
+    ZYNQ_XC7Z020,
+    OdeBlockCycleModel,
+    ResourceEstimator,
+    TimingModel,
+)
+
+
+class TestAbstractClaims:
+    def test_overall_speedup_up_to_2_66x(self):
+        """Abstract: "an overall execution time of an rODENet variant is
+        improved by up to 2.66 times compared to a pure software execution"."""
+
+        model = ExecutionTimeModel()
+        best = max(
+            model.report(name, depth).overall_speedup
+            for name in ("rODENet-1", "rODENet-2", "rODENet-1+2", "rODENet-3")
+            for depth in (20, 32, 44, 56)
+        )
+        assert best == pytest.approx(2.66, abs=0.06)
+
+    def test_best_speedup_achieved_by_rodenet3_56(self):
+        model = ExecutionTimeModel()
+        report = model.report("rODENet-3", 56)
+        assert report.overall_speedup == pytest.approx(2.66, abs=0.05)
+
+
+class TestSection31Claims:
+    def test_layer3_2_cycle_counts(self):
+        """"their execution cycles of layer3_2 are 23.78M, 6.07M, 3.12M,
+        1.64M, and 0.90M cycles"."""
+
+        cycle_model = OdeBlockCycleModel()
+        for n_units, published in PAPER_LAYER3_2_CYCLES.items():
+            assert cycle_model.block_cycles(LAYER3_2, n_units).total == pytest.approx(
+                published, rel=0.02
+            )
+
+    def test_conv_x32_fails_timing_conv_x16_passes(self):
+        """"only conv_x32 could not satisfy a timing constraint ... (100MHz)"."""
+
+        timing = TimingModel()
+        assert timing.analyze(16).meets_timing
+        assert not timing.analyze(32).meets_timing
+
+
+class TestSection32Claims:
+    def test_table3_bram_saturation_for_layer3_2(self):
+        """"if we implement layer3_2 on PL part of the FPGA, BRAM utilization
+        becomes 100%"."""
+
+        for n in (1, 4, 8, 16):
+            assert PUBLISHED_TABLE3[("layer3_2", n)].bram == ZYNQ_XC7Z020.bram36
+
+    def test_four_offload_cases_feasible(self):
+        """Section 3.2's four cases all fit the device per the resource model."""
+
+        estimator = ResourceEstimator()
+        assert estimator.estimate("layer1", 16).fits()
+        assert estimator.estimate("layer2_2", 16).fits()
+        assert estimator.estimate_combination(["layer1", "layer2_2"], 16).fits(ZYNQ_XC7Z020)
+        assert estimator.estimate("layer3_2", 16).fits()
+
+
+class TestSection42Claims:
+    @pytest.mark.parametrize(
+        "variant,depth,expected",
+        [
+            ("ODENet", 20, 36.24),
+            ("rODENet-3", 20, 43.29),
+            ("ODENet", 56, 79.54),
+            ("rODENet-3", 56, 81.80),
+            ("Hybrid-3", 20, 26.43),
+            ("Hybrid-3", 56, 60.16),
+        ],
+    )
+    def test_parameter_reductions(self, variant, depth, expected):
+        assert parameter_reduction_percent(variant, depth) == pytest.approx(expected, abs=0.01)
+
+    def test_table2_exact_kilobytes(self):
+        expected = {
+            "conv1": 1.86,
+            "layer1": 19.84,
+            "layer2_1": 55.81,
+            "layer2_2": 76.54,
+            "layer3_1": 222.21,
+            "layer3_2": 300.54,
+            "fc": 26.00,
+        }
+        for row in table2_structure():
+            assert row.parameter_kilobytes == pytest.approx(expected[row.layer], abs=0.01)
+
+    def test_parameter_size_independent_of_n_for_ode_variants(self):
+        series = figure5_series()
+        assert len({series["ODENet"][d] for d in (20, 32, 44, 56)}) == 1
+
+
+class TestSection43Claims:
+    def test_quoted_accuracies(self):
+        assert accuracy_model("ResNet", 44).accuracy_percent == pytest.approx(70.74)
+        assert accuracy_model("Hybrid-3", 44).accuracy_percent == pytest.approx(68.58)
+        assert accuracy_model("rODENet-3", 20).accuracy_percent == pytest.approx(62.54)
+
+    def test_accuracy_gaps(self):
+        """5.48 / 5.70 point gaps for rODENet-3; 2.16 worst case for Hybrid-3."""
+
+        gap20 = accuracy_model("ResNet", 20).accuracy_percent - accuracy_model("rODENet-3", 20).accuracy_percent
+        gap32 = accuracy_model("ResNet", 32).accuracy_percent - accuracy_model("rODENet-3", 32).accuracy_percent
+        assert gap20 == pytest.approx(5.48, abs=0.01)
+        assert gap32 == pytest.approx(5.70, abs=0.01)
+
+
+class TestSection44Claims:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return ExecutionTimeModel()
+
+    def test_layer3_2_share_in_odenet3_and_hybrid3(self, model):
+        """"execution time of layer3_2 takes up only 21.24% to 29.64% of total
+        execution time of ODENet-3-N and Hybrid-3-N"."""
+
+        ratios = [
+            model.report(name, depth).target_ratio_percent[0]
+            for name in ("ODENet-3", "Hybrid-3")
+            for depth in (20, 32, 44, 56)
+        ]
+        assert min(ratios) > 18.0
+        assert max(ratios) < 33.0
+
+    def test_layer3_2_share_in_rodenet3(self, model):
+        """"layer3_2 is heavily used intentionally in rODENet-3-N, and its
+        execution time takes up 64.48% to 87.87%"."""
+
+        ratios = [model.report("rODENet-3", d).target_ratio_percent[0] for d in (20, 32, 44, 56)]
+        assert ratios[0] == pytest.approx(64.48, abs=4.0)
+        assert ratios[-1] == pytest.approx(87.87, abs=3.0)
+
+    def test_speedup_vs_software_resnet56(self, model):
+        """"rODENet-3-56 is 2.67 times faster than a pure software execution of
+        ResNet-56"."""
+
+        assert model.speedup_vs_resnet("rODENet-3", 56) == pytest.approx(2.67, rel=0.05)
+
+    def test_smallest_speedup_is_hybrid_3_20(self, model):
+        """"the overall speedup by the FPGA is smallest in Hybrid-3-20"."""
+
+        speedups = {
+            (name, depth): model.report(name, depth).overall_speedup
+            for name in ("rODENet-1", "rODENet-2", "rODENet-1+2", "rODENet-3", "ODENet-3", "Hybrid-3")
+            for depth in (20, 32, 44, 56)
+        }
+        smallest = min(speedups, key=speedups.get)
+        assert smallest[1] == 20
+        assert smallest[0] in ("Hybrid-3", "ODENet-3")  # the two are within noise of each other
+
+    def test_table4_rodenet3_structure(self):
+        """rODENet-3 "heavily uses layer3_2, reduces layer1, eliminates layer2_2"."""
+
+        spec = variant_spec("rODENet-3", 56)
+        assert spec.plan("layer3_2").executions_per_block == 24
+        assert spec.plan("layer1").total_executions == 1
+        assert spec.plan("layer2_2").total_executions == 0

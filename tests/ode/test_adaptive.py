@@ -1,0 +1,70 @@
+"""Tests for the adaptive (embedded Runge–Kutta) solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ode import adaptive_integrate, dopri5, heun_euler
+
+
+def decay(z, t):
+    return -z
+
+
+def stiff_ish(z, t):
+    return -50.0 * (z - np.cos(t))
+
+
+class TestAdaptiveSolvers:
+    def test_dopri5_accuracy(self):
+        result = dopri5(rtol=1e-8, atol=1e-10).integrate(decay, np.array([1.0]), 0.0, 1.0)
+        assert result.y[0] == pytest.approx(np.exp(-1.0), rel=1e-7)
+
+    def test_heun_euler_accuracy(self):
+        result = heun_euler(rtol=1e-6, atol=1e-8).integrate(decay, np.array([1.0]), 0.0, 1.0)
+        assert result.y[0] == pytest.approx(np.exp(-1.0), rel=1e-4)
+
+    def test_tighter_tolerance_uses_more_steps(self):
+        loose = dopri5(rtol=1e-3, atol=1e-5).integrate(stiff_ish, np.array([0.0]), 0.0, 1.0)
+        tight = dopri5(rtol=1e-9, atol=1e-11).integrate(stiff_ish, np.array([0.0]), 0.0, 1.0)
+        assert tight.num_steps > loose.num_steps
+
+    def test_function_evaluations_counted(self):
+        result = dopri5().integrate(decay, np.array([1.0]), 0.0, 1.0)
+        assert result.num_function_evals == (result.num_steps + result.num_rejected) * 7
+
+    def test_zero_span_is_noop(self):
+        result = dopri5().integrate(decay, np.array([3.0]), 1.0, 1.0)
+        assert result.num_steps == 0
+        assert result.y[0] == 3.0
+
+    def test_backward_integration(self):
+        result = dopri5().integrate(decay, np.array([np.exp(-1.0)]), 1.0, 0.0)
+        assert result.y[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_recording_trajectory(self):
+        result = dopri5().integrate(decay, np.array([1.0]), 0.0, 1.0, record=True)
+        assert len(result.times) == result.num_steps + 1
+        assert result.times[0] == 0.0
+        assert result.times[-1] == pytest.approx(1.0)
+        values = [s[0] for s in result.states]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_max_steps_guard(self):
+        solver = dopri5(rtol=1e-13, atol=1e-15)
+        solver.max_steps = 5
+        with pytest.raises(RuntimeError, match="maximum number of steps"):
+            solver.integrate(stiff_ish, np.array([0.0]), 0.0, 10.0)
+
+    def test_adaptive_integrate_name_dispatch(self):
+        r1 = adaptive_integrate(decay, np.array([1.0]), 0.0, 1.0, method="rk45")
+        r2 = adaptive_integrate(decay, np.array([1.0]), 0.0, 1.0, method="rk12")
+        assert r1.y[0] == pytest.approx(r2.y[0], rel=1e-3)
+        with pytest.raises(ValueError):
+            adaptive_integrate(decay, np.array([1.0]), 0.0, 1.0, method="bogus")
+
+    def test_step_count_scales_with_dynamics_speed(self):
+        slow = dopri5().integrate(decay, np.array([1.0]), 0.0, 1.0)
+        fast = dopri5().integrate(lambda z, t: -40 * z, np.array([1.0]), 0.0, 1.0)
+        assert fast.num_steps > slow.num_steps

@@ -1,0 +1,89 @@
+"""Tests for the public odeint / odesolve API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.layers import Parameter
+from repro.ode import odeint, odesolve
+
+
+def decay(z, t):
+    return -z
+
+
+class TestOdesolve:
+    def test_default_single_step_is_euler_block(self):
+        z1 = odesolve(decay, np.array([1.0]), 0.0, 1.0)
+        assert z1[0] == pytest.approx(0.0)  # 1 + 1*(-1)
+
+    def test_num_steps(self):
+        z1 = odesolve(decay, np.array([1.0]), 0.0, 1.0, num_steps=1000)
+        assert z1[0] == pytest.approx(np.exp(-1), rel=1e-3)
+
+    def test_step_size(self):
+        z1 = odesolve(decay, np.array([1.0]), 0.0, 1.0, method="rk4", step_size=0.1)
+        assert z1[0] == pytest.approx(np.exp(-1), rel=1e-6)
+
+    def test_num_steps_and_step_size_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            odesolve(decay, np.array([1.0]), 0.0, 1.0, num_steps=2, step_size=0.5)
+
+    def test_tensor_input_records_graph(self):
+        z0 = Tensor(np.array([2.0]), requires_grad=True)
+        z1 = odesolve(decay, z0, 0.0, 1.0, method="euler", num_steps=10)
+        assert isinstance(z1, Tensor)
+        z1.sum().backward()
+        # d z1 / d z0 = (1 - h)^10 with h = 0.1
+        assert z0.grad[0] == pytest.approx((1 - 0.1) ** 10, rel=1e-10)
+
+
+class TestOdeint:
+    def test_trajectory_shape(self):
+        times = [0.0, 0.5, 1.0, 1.5]
+        out = odeint(decay, np.array([1.0, 2.0]), times, method="rk4", steps_per_interval=20)
+        assert out.shape == (4, 2)
+        np.testing.assert_allclose(out[0], [1.0, 2.0])
+
+    def test_values_match_analytic(self):
+        times = np.linspace(0, 2, 5)
+        out = odeint(decay, np.array([1.0]), times, method="rk4", steps_per_interval=50)
+        np.testing.assert_allclose(out[:, 0], np.exp(-times), rtol=1e-6)
+
+    def test_decreasing_times_supported(self):
+        times = [1.0, 0.5, 0.0]
+        out = odeint(decay, np.array([np.exp(-1.0)]), times, method="rk4", steps_per_interval=50)
+        assert out[-1, 0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_non_monotonic_times_rejected(self):
+        with pytest.raises(ValueError, match="monotonic"):
+            odeint(decay, np.array([1.0]), [0.0, 1.0, 0.5])
+
+    def test_single_time_rejected(self):
+        with pytest.raises(ValueError):
+            odeint(decay, np.array([1.0]), [0.0])
+
+    def test_tensor_trajectory_gradients(self):
+        w = Parameter(np.array([[-0.5]]))
+
+        def dyn(z, t):
+            return z @ w.T
+
+        z0 = Tensor(np.array([[1.0]]), requires_grad=True)
+        traj = odeint(dyn, z0, [0.0, 1.0], method="euler", steps_per_interval=10)
+        assert isinstance(traj, Tensor)
+        traj[-1].sum().backward()
+        assert z0.grad is not None and w.grad is not None
+        assert z0.grad[0, 0] == pytest.approx((1 - 0.05) ** 10, rel=1e-6)
+
+    def test_adaptive_method_rejects_tensor(self):
+        with pytest.raises(TypeError):
+            odeint(decay, Tensor(np.array([1.0])), [0.0, 1.0], method="rk45")
+
+    def test_adaptive_method_matches_fixed_grid(self):
+        times = [0.0, 1.0]
+        adaptive = odeint(decay, np.array([1.0]), times, method="rk45")
+        fixed = odeint(decay, np.array([1.0]), times, method="rk4", steps_per_interval=100)
+        np.testing.assert_allclose(adaptive[-1], fixed[-1], rtol=1e-5)

@@ -1,0 +1,87 @@
+"""Tests for the repro-odenet command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_depth(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table4", "--depth", "21"])
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["offload", "VGG"])
+
+
+class TestTableCommands:
+    def test_table1(self, capsys):
+        out = run_cli(capsys, "table1")
+        assert "PYNQ-Z2" in out and "650MHz" in out
+
+    def test_table2(self, capsys):
+        out = run_cli(capsys, "table2")
+        assert "layer3_2" in out and "300.54" in out
+
+    def test_table3_with_and_without_estimates(self, capsys):
+        with_estimates = run_cli(capsys, "table3")
+        assert "model_lut" in with_estimates
+        without = run_cli(capsys, "table3", "--no-estimates")
+        assert "model_lut" not in without
+
+    def test_table4_depth(self, capsys):
+        out = run_cli(capsys, "table4", "--depth", "20")
+        assert "1 / 6" in out  # rODENet-3 layer3_2 at N=20
+
+    def test_table5_single_depth(self, capsys):
+        out = run_cli(capsys, "table5", "--depth", "56")
+        assert "rODENet-3" in out and "2.66" in out
+
+    def test_table5_parallelism_option(self, capsys):
+        out = run_cli(capsys, "table5", "--depth", "56", "--n-units", "1")
+        assert "2.66" not in out  # conv_x1 cannot reach the headline speedup
+
+
+class TestFigureCommands:
+    def test_figure5(self, capsys):
+        out = run_cli(capsys, "figure5")
+        assert "ResNet" in out and "rODENet-1+2" in out
+
+    def test_figure6_default_and_paper_only(self, capsys):
+        full = run_cli(capsys, "figure6")
+        assert "68.02" in full
+        paper_only = run_cli(capsys, "figure6", "--paper-only")
+        assert "rODENet-1" not in paper_only
+
+    def test_figure6_points_listing(self, capsys):
+        out = run_cli(capsys, "figure6", "--points")
+        assert "estimated" in out and "paper" in out
+
+
+class TestDesignCommands:
+    def test_offload(self, capsys):
+        out = run_cli(capsys, "offload", "rODENet-3", "--depth", "56")
+        assert "layer3_2" in out
+        assert "2.66x" in out
+        assert "True" in out
+
+    def test_energy(self, capsys):
+        out = run_cli(capsys, "energy", "rODENet-3", "--depth", "56")
+        assert "energy_ratio" in out
+
+    def test_training(self, capsys):
+        out = run_cli(capsys, "training", "--depth", "56", "--models", "ResNet", "rODENet-3")
+        assert "step_speedup" in out
+        assert "rODENet-3" in out
