@@ -12,8 +12,8 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import format_records
-from repro.core import ExecutionTimeModel
-from repro.fpga import PowerModel, ResourceEstimator, ResourceVector
+from repro.api import Evaluator, scenario_grid
+from repro.api import sweep as run_sweep
 
 from conftest import print_report
 
@@ -21,28 +21,19 @@ MODELS = ("ResNet", "rODENet-1", "rODENet-2", "rODENet-3", "ODENet-3", "Hybrid-3
 
 
 def test_energy_per_prediction(benchmark):
-    execution = ExecutionTimeModel(n_units=16)
-    power = PowerModel(execution_model=execution)
-    estimator = ResourceEstimator()
+    grid = scenario_grid(models=MODELS, depths=(56,))
 
     def sweep():
+        # Fresh evaluator per round: time the models, not the memo.
         rows = []
-        for name in MODELS:
-            report = execution.report(name, 56)
-            if report.offload_targets:
-                resources = ResourceVector()
-                for target in report.offload_targets:
-                    resources = resources + estimator.estimate(target, 16).resources
-            else:
-                resources = ResourceVector()
-            comparison = power.compare(name, 56, resources)
+        for result in run_sweep(grid, evaluator=Evaluator(), workers=4):
             rows.append(
                 {
-                    "model": f"{name}-56",
-                    "energy_sw_J": round(comparison["energy_without_pl_J"], 3),
-                    "energy_offloaded_J": round(comparison["energy_with_pl_J"], 3),
-                    "energy_ratio": round(comparison["energy_ratio"], 2),
-                    "time_speedup": round(comparison["time_speedup"], 2),
+                    "model": result.scenario.full_name,
+                    "energy_sw_J": round(result.energy["energy_without_pl_J"], 3),
+                    "energy_offloaded_J": round(result.energy["energy_with_pl_J"], 3),
+                    "energy_ratio": round(result.energy["energy_ratio"], 2),
+                    "time_speedup": round(result.energy["time_speedup"], 2),
                 }
             )
         return rows

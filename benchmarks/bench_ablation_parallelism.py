@@ -11,27 +11,29 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import format_records
-from repro.core import ExecutionTimeModel, OffloadPlanner
-from repro.fpga import TimingModel
+from repro.api import Evaluator, scenario_grid
+from repro.api import sweep as run_sweep
+from repro.core import OffloadPlanner
 
 from conftest import print_report
 
 
 def test_parallelism_speedup_ablation(benchmark):
-    model = ExecutionTimeModel()
-    timing = TimingModel()
+    grid = scenario_grid(
+        models=("rODENet-3",), depths=(56,), n_units=(1, 2, 4, 8, 16, 32, 64)
+    )
 
     def sweep():
+        # Fresh evaluator per round: time the models, not the memo.
         rows = []
-        for n in (1, 2, 4, 8, 16, 32, 64):
-            report_n = ExecutionTimeModel(n_units=n).report("rODENet-3", 56)
+        for result in run_sweep(grid, evaluator=Evaluator()):
             rows.append(
                 {
-                    "n_units": n,
-                    "target_w_PL_s": round(sum(report_n.target_with_pl), 3),
-                    "total_w_PL_s": round(report_n.total_with_pl, 3),
-                    "overall_speedup": round(report_n.overall_speedup, 2),
-                    "meets_100MHz": timing.analyze(n).meets_timing,
+                    "n_units": result.scenario.n_units,
+                    "target_w_PL_s": round(sum(result.timing["target_w_pl_s"]), 3),
+                    "total_w_PL_s": round(result.timing["total_w_pl_s"], 3),
+                    "overall_speedup": round(result.timing["overall_speedup"], 2),
+                    "meets_100MHz": result.resources["meets_timing"],
                 }
             )
         return rows

@@ -15,35 +15,47 @@ import numpy as np
 import pytest
 
 from repro.analysis import format_records
-from repro.fixedpoint import Q8, Q12, Q16, Q20, QFormat
-from repro.fpga import (
-    BlockWeights,
-    HardwareODEBlock,
-    ZYNQ_XC7Z020,
-    plan_block_allocation,
-)
-from repro.fpga.geometry import LAYER1, LAYER2_2, LAYER3_2, BlockGeometry
+from repro.api import Evaluator, scenario_grid
+from repro.api import sweep as run_sweep
+from repro.fixedpoint import Q8, Q12, Q16, Q20
+from repro.fpga import BlockWeights, HardwareODEBlock, ZYNQ_XC7Z020
+from repro.fpga.geometry import BlockGeometry
 
 from conftest import print_report
 
 FORMATS = (Q20, Q16, Q12, Q8)
 
+#: rODENet-1 / -2 / -3 offload layer1 / layer2_2 / layer3_2 respectively, so
+#: one scenario per (variant, word length) yields every per-layer BRAM demand.
+LAYER_PROBES = ("rODENet-1", "rODENet-2", "rODENet-3")
+
 
 def test_wordlength_bram_sweep(benchmark):
+    grid = scenario_grid(
+        models=LAYER_PROBES,
+        depths=(56,),
+        word_lengths=tuple(fmt.word_length for fmt in FORMATS),
+    )
+
     def sweep():
+        # Fresh evaluator per round: time the models, not the memo.
+        results = run_sweep(grid, evaluator=Evaluator(), workers=4)
+        tiles = {
+            # BRAM demand is a tile count; int() undoes ResourceVector's
+            # float arithmetic for display.
+            (r.resources["targets"][0], r.scenario.word_length): int(r.resources["bram"])
+            for r in results
+        }
         rows = []
         for fmt in FORMATS:
-            tiles = {
-                geom.name: plan_block_allocation(geom, n_units=16, qformat=fmt).total_tiles
-                for geom in (LAYER1, LAYER2_2, LAYER3_2)
-            }
-            total_all = sum(tiles.values())
+            wl = fmt.word_length
+            total_all = tiles["layer1", wl] + tiles["layer2_2", wl] + tiles["layer3_2", wl]
             rows.append(
                 {
                     "format": fmt.name,
-                    "layer1_bram": tiles["layer1"],
-                    "layer2_2_bram": tiles["layer2_2"],
-                    "layer3_2_bram": tiles["layer3_2"],
+                    "layer1_bram": tiles["layer1", wl],
+                    "layer2_2_bram": tiles["layer2_2", wl],
+                    "layer3_2_bram": tiles["layer3_2", wl],
                     "all_three_bram": total_all,
                     "all_three_fit": total_all <= ZYNQ_XC7Z020.bram36,
                 }

@@ -17,13 +17,16 @@ The package is organised as the paper's system is:
   co-execution runtime.
 * :mod:`repro.data`, :mod:`repro.train` — dataset and training substrates.
 * :mod:`repro.analysis` — regeneration of every table and figure.
+* :mod:`repro.api` — the unified ``Scenario -> Evaluator -> Result`` entry
+  point and the design-space sweep engine behind the CLI.
 """
 
-from . import analysis, core, data, fixedpoint, fpga, hwsw, nn, ode, train
+from . import analysis, api, core, data, fixedpoint, fpga, hwsw, nn, ode, train
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "core",
     "nn",
     "ode",

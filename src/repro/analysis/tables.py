@@ -8,13 +8,13 @@ the same layout as the paper.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from ..core.execution_model import TABLE5_MODELS, ExecutionTimeModel
+from ..core.execution_model import TABLE5_MODELS
 from ..core.parameter_model import table2_structure
-from ..core.variants import SUPPORTED_DEPTHS, VARIANT_NAMES, table4_rows
+from ..core.variants import SUPPORTED_DEPTHS, table4_rows
 from ..fpga.device import PYNQ_Z2, ZYNQ_XC7Z020
-from ..fpga.resources import PUBLISHED_TABLE3, ResourceEstimator, published_table3
+from ..fpga.resources import ResourceEstimator, published_table3
 
 __all__ = [
     "table1_records",
@@ -98,18 +98,14 @@ def table5_records(
     models: Sequence[str] = TABLE5_MODELS,
     n_units: int = 16,
 ) -> List[Dict[str, object]]:
-    """Table 5: execution times and speedups of the seven architectures."""
+    """Table 5: execution times and speedups of the seven architectures.
 
-    model = ExecutionTimeModel(n_units=n_units)
-    records: List[Dict[str, object]] = []
-    for report in model.table5(depths=depths, models=models):
-        rec = report.as_dict()
-        # Flatten the per-target lists for table rendering.
-        rec["target_wo_pl_s"] = " / ".join(f"{t:.2f}" for t in report.target_without_pl) or "-"
-        rec["ratio_of_target_pct"] = " / ".join(f"{t:.2f}" for t in report.target_ratio_percent) or "-"
-        rec["target_w_pl_s"] = " / ".join(f"{t:.2f}" for t in report.target_with_pl) or "-"
-        rec["total_wo_pl_s"] = round(report.total_without_pl, 3)
-        rec["total_w_pl_s"] = round(report.total_with_pl, 3)
-        rec["overall_speedup"] = round(report.overall_speedup, 2)
-        records.append(rec)
-    return records
+    Delegates to the scenario engine (:class:`repro.api.Evaluator`) so the
+    table, the CLI and the design-space sweeps all share one code path.  The
+    import is local to keep :mod:`repro.analysis` importable before
+    :mod:`repro.api` during package initialisation.
+    """
+
+    from ..api import Evaluator
+
+    return Evaluator().table5_records(depths=depths, models=models, n_units=n_units)

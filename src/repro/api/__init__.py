@@ -1,0 +1,49 @@
+"""Unified scenario/evaluator API: one entry point for every analysis.
+
+The flow is ``Scenario -> Evaluator -> Result``:
+
+>>> from repro.api import Scenario, Evaluator
+>>> ev = Evaluator()
+>>> result = ev.evaluate(Scenario(model="rODENet-3", depth=56, n_units=16))
+>>> round(result.timing["overall_speedup"], 2)
+2.66
+
+and design-space grids run through :func:`sweep`:
+
+>>> from repro.api import scenario_grid, sweep
+>>> results = sweep(scenario_grid(models=("rODENet-3",), depths=(20, 56),
+...                               n_units=(8, 16)), workers=4)
+>>> len(results)
+4
+
+Everything the CLI, the examples and the benchmarks print is derived from
+these three objects; see the package README for the quickstart.
+"""
+
+from .evaluator import TRAINING_PROJECTION_KEYS, Evaluator
+from .result import Result
+from .scenario import (
+    BOARDS,
+    DEFAULT_FRACTION_BITS,
+    SCENARIO_MODELS,
+    Scenario,
+    fraction_bits_for,
+    scenario_grid,
+)
+from .sweep import results_to_csv, results_to_json, results_to_records, sweep
+
+__all__ = [
+    "Scenario",
+    "scenario_grid",
+    "fraction_bits_for",
+    "SCENARIO_MODELS",
+    "BOARDS",
+    "DEFAULT_FRACTION_BITS",
+    "Evaluator",
+    "TRAINING_PROJECTION_KEYS",
+    "Result",
+    "sweep",
+    "results_to_csv",
+    "results_to_json",
+    "results_to_records",
+]

@@ -1,0 +1,328 @@
+"""The :class:`Evaluator` facade: ``Scenario -> Result`` in one call.
+
+Historically every consumer hand-assembled the analytical models —
+:class:`~repro.core.execution_model.ExecutionTimeModel`,
+:class:`~repro.core.offload.OffloadPlanner`,
+:class:`~repro.fpga.resources.ResourceEstimator`,
+:class:`~repro.fpga.power.PowerModel` and
+:class:`~repro.core.training_model.TrainingTimeModel` — separately.  The
+evaluator owns that wiring: it lazily constructs each model the first time a
+scenario needs it, shares instances across scenarios that agree on the
+relevant knobs (board, clock, MAC units, Q-format), and memoizes the final
+:class:`~repro.api.result.Result` per scenario.
+
+The evaluator is safe to share across threads: the underlying models are
+queried read-only (``n_units`` overrides are passed per call, never written
+back) and all caches use atomic ``setdefault`` insertion, so
+:func:`repro.api.sweep.sweep` can fan one evaluator out over a worker pool.
+
+It is also the single engine behind the CLI: the table/figure convenience
+methods delegate to :mod:`repro.analysis` so every subcommand goes through
+one object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.execution_model import TABLE5_MODELS, ExecutionTimeModel, ExecutionTimeReport
+from ..core.offload import OffloadDecision, OffloadPlanner
+from ..core.parameter_model import variant_parameter_bytes, variant_parameter_count
+from ..core.training_model import TrainingTimeModel
+from ..core.variants import SUPPORTED_DEPTHS
+from ..fpga.power import PowerModel
+from .result import Result
+from .scenario import Scenario
+
+__all__ = ["Evaluator"]
+
+#: ``training`` section keys that hold epoch/full-run projections (the CLI
+#: rounds exactly these, mirroring the original ``training`` subcommand).
+TRAINING_PROJECTION_KEYS: Tuple[str, ...] = (
+    "epoch_hours_software",
+    "epoch_hours_offloaded",
+    "full_run_days_software",
+    "full_run_days_offloaded",
+    "step_speedup",
+)
+
+
+class Evaluator:
+    """Construct, cache and query the analytical models per scenario."""
+
+    def __init__(self) -> None:
+        self._execution_models: Dict[Tuple, ExecutionTimeModel] = {}
+        self._planners: Dict[Tuple, OffloadPlanner] = {}
+        self._power_models: Dict[Tuple, PowerModel] = {}
+        self._training_models: Dict[Tuple, TrainingTimeModel] = {}
+        self._reports: Dict[Scenario, ExecutionTimeReport] = {}
+        self._decisions: Dict[Scenario, OffloadDecision] = {}
+        self._baselines: Dict[Tuple, ExecutionTimeReport] = {}
+        self._results: Dict[Scenario, Result] = {}
+
+    # -- lazy model construction -----------------------------------------------------
+
+    def _hw_key(self, scenario: Scenario) -> Tuple:
+        return (scenario.board, scenario.pl_clock_hz, scenario.n_units)
+
+    def _execution_model(self, scenario: Scenario) -> ExecutionTimeModel:
+        key = self._hw_key(scenario)
+        try:
+            return self._execution_models[key]
+        except KeyError:
+            model = ExecutionTimeModel(scenario.board_spec, n_units=scenario.n_units)
+            return self._execution_models.setdefault(key, model)
+
+    def _planner(self, scenario: Scenario) -> OffloadPlanner:
+        key = self._hw_key(scenario) + (scenario.word_length, scenario.fraction_bits)
+        try:
+            return self._planners[key]
+        except KeyError:
+            planner = OffloadPlanner(
+                board=scenario.board_spec,
+                n_units=scenario.n_units,
+                execution_model=self._execution_model(scenario),
+                qformat=scenario.qformat,
+            )
+            return self._planners.setdefault(key, planner)
+
+    def _power_model(self, scenario: Scenario) -> PowerModel:
+        key = self._hw_key(scenario)
+        try:
+            return self._power_models[key]
+        except KeyError:
+            model = PowerModel(execution_model=self._execution_model(scenario))
+            return self._power_models.setdefault(key, model)
+
+    def _training_model(self, scenario: Scenario) -> TrainingTimeModel:
+        key = self._hw_key(scenario)
+        try:
+            return self._training_models[key]
+        except KeyError:
+            model = TrainingTimeModel(execution_model=self._execution_model(scenario))
+            return self._training_models.setdefault(key, model)
+
+    # -- evaluation --------------------------------------------------------------------
+
+    def evaluate(self, scenario: Scenario) -> Result:
+        """Full structured result for one scenario (memoized per scenario)."""
+
+        try:
+            return self._results[scenario]
+        except KeyError:
+            pass
+        return self._results.setdefault(scenario, self._compute(scenario))
+
+    def execution_report(self, scenario: Scenario) -> ExecutionTimeReport:
+        """The Table-5 execution-time report underlying a scenario's result.
+
+        Computed (and cached) on its own, without building the energy or
+        training sections — callers that only need timing (e.g. Table 5) pay
+        only for timing.
+        """
+
+        try:
+            return self._reports[scenario]
+        except KeyError:
+            pass
+        planner = self._planner(scenario)
+        targets = planner.proposed_targets(scenario.model, scenario.depth)
+        report = self._execution_model(scenario).report(
+            scenario.model,
+            scenario.depth,
+            offload_targets=targets,
+            solver_stages=scenario.solver_stages,
+        )
+        return self._reports.setdefault(scenario, report)
+
+    def offload_decision(self, scenario: Scenario) -> OffloadDecision:
+        """The offload plan for a scenario (targets, resources, feasibility).
+
+        Consistent with :meth:`evaluate`: the expected speedup comes from the
+        same solver-aware execution report the result's timing section uses.
+        """
+
+        try:
+            return self._decisions[scenario]
+        except KeyError:
+            pass
+        report = self.execution_report(scenario)
+        decision = self._planner(scenario).plan(
+            scenario.model,
+            scenario.depth,
+            targets=report.offload_targets,
+            report=report,
+        )
+        return self._decisions.setdefault(scenario, decision)
+
+    def _resnet_baseline(self, scenario: Scenario) -> ExecutionTimeReport:
+        """Software ResNet-N reference, shared across a depth's scenarios.
+
+        Keyed without ``n_units``: a software-only report never touches the
+        PL, so every parallelism scenario at one depth shares one baseline.
+        """
+
+        key = (scenario.board, scenario.pl_clock_hz, scenario.depth)
+        try:
+            return self._baselines[key]
+        except KeyError:
+            report = self._execution_model(scenario).report(
+                "ResNet", scenario.depth, offload_targets=(), solver_stages=1
+            )
+            return self._baselines.setdefault(key, report)
+
+    def _compute(self, scenario: Scenario) -> Result:
+        # One report serves the timing section, the energy comparison and the
+        # offload decision's expected speedup (no duplicate model runs).
+        report = self.execution_report(scenario)
+        decision = self.offload_decision(scenario)
+        resnet_baseline = self._resnet_baseline(scenario)
+
+        parameters = self._parameters_section(scenario)
+        resources = self._resources_section(scenario, decision)
+        timing = self._timing_section(scenario, report, resnet_baseline)
+        energy = self._power_model(scenario).compare_report(report, decision.resources)
+        training = self._training_section(scenario)
+        return Result(
+            scenario=scenario,
+            parameters=parameters,
+            resources=resources,
+            timing=timing,
+            energy=energy,
+            training=training,
+        )
+
+    # -- sections ----------------------------------------------------------------------
+
+    def _parameters_section(self, scenario: Scenario) -> Dict[str, object]:
+        section: Dict[str, object] = {
+            "variant": scenario.variant,
+            "qformat": scenario.qformat.name,
+            "param_count": variant_parameter_count(scenario.variant, scenario.depth),
+            # Parameter storage at the scenario's word length, so word-length
+            # sweeps report the actual memory-footprint trade-off.
+            "param_bytes": variant_parameter_bytes(
+                scenario.variant,
+                scenario.depth,
+                bytes_per_param=scenario.qformat.bytes_per_value,
+            ),
+        }
+        try:
+            from ..analysis.accuracy_model import accuracy_model
+
+            point = accuracy_model(scenario.variant, scenario.depth)
+            section["accuracy_pct"] = point.accuracy_percent
+            section["accuracy_stable"] = point.stable
+        except KeyError:
+            section["accuracy_pct"] = None
+            section["accuracy_stable"] = None
+        return section
+
+    def _resources_section(
+        self, scenario: Scenario, decision: OffloadDecision
+    ) -> Dict[str, object]:
+        section: Dict[str, object] = dict(decision.resources.as_dict())
+        section.update(
+            {
+                f"{k}_pct": v
+                for k, v in decision.resources.utilization(scenario.board_spec.fpga).items()
+            }
+        )
+        section["targets"] = list(decision.targets)
+        section["fits_device"] = decision.fits_device
+        section["meets_timing"] = decision.meets_timing
+        return section
+
+    def _timing_section(
+        self,
+        scenario: Scenario,
+        report: ExecutionTimeReport,
+        resnet_baseline: ExecutionTimeReport,
+    ) -> Dict[str, object]:
+        section = report.as_dict()
+        section["speedup_vs_resnet"] = (
+            resnet_baseline.total_without_pl / report.total_with_pl
+        )
+        section["solver_stages"] = scenario.solver_stages
+        return section
+
+    def _training_section(self, scenario: Scenario) -> Dict[str, object]:
+        model = self._training_model(scenario)
+        report = model.report(scenario.model, scenario.depth)
+        section = report.as_dict()
+        section.update(model.epoch_table((scenario.model,), scenario.depth)[scenario.model])
+        return section
+
+    # -- table/figure facade (delegates to repro.analysis) ----------------------------
+
+    def table1_records(self) -> List[Dict[str, object]]:
+        from ..analysis.tables import table1_records
+
+        return table1_records()
+
+    def table2_records(self) -> List[Dict[str, object]]:
+        from ..analysis.tables import table2_records
+
+        return table2_records()
+
+    def table3_records(self, include_estimates: bool = True) -> List[Dict[str, object]]:
+        from ..analysis.tables import table3_records
+
+        return table3_records(include_estimates=include_estimates)
+
+    def table4_records(self, depth: int = 56) -> List[Dict[str, object]]:
+        from ..analysis.tables import table4_records
+
+        return table4_records(depth)
+
+    def table5_records(
+        self,
+        depths: Sequence[int] = SUPPORTED_DEPTHS,
+        models: Sequence[str] = TABLE5_MODELS,
+        n_units: int = 16,
+    ) -> List[Dict[str, object]]:
+        """Table 5 rows, built from the scenario engine (one row per model x depth)."""
+
+        records: List[Dict[str, object]] = []
+        for model in models:
+            for depth in depths:
+                scenario = Scenario(model=model, depth=depth, n_units=n_units)
+                report = self.execution_report(scenario)
+                rec = report.as_dict()
+                rec["target_wo_pl_s"] = " / ".join(f"{t:.2f}" for t in report.target_without_pl) or "-"
+                rec["ratio_of_target_pct"] = " / ".join(f"{t:.2f}" for t in report.target_ratio_percent) or "-"
+                rec["target_w_pl_s"] = " / ".join(f"{t:.2f}" for t in report.target_with_pl) or "-"
+                rec["total_wo_pl_s"] = round(report.total_without_pl, 3)
+                rec["total_w_pl_s"] = round(report.total_with_pl, 3)
+                rec["overall_speedup"] = round(report.overall_speedup, 2)
+                records.append(rec)
+        return records
+
+    def figure5_series(self) -> Dict[str, Dict[int, float]]:
+        from ..analysis.figures import figure5_series
+
+        return figure5_series()
+
+    def figure6_series(self, paper_only: bool = False) -> Dict[str, Dict[int, float]]:
+        from ..analysis.figures import figure6_series
+
+        return figure6_series(paper_only=paper_only)
+
+    def accuracy_table(self) -> List[Dict[str, object]]:
+        from ..analysis.accuracy_model import accuracy_table
+
+        return accuracy_table()
+
+    # -- cache introspection (useful in tests and tuning) ------------------------------
+
+    @property
+    def cached_result_count(self) -> int:
+        return len(self._results)
+
+    def clear_cache(self) -> None:
+        """Drop memoized results/reports (constructed models are kept)."""
+
+        self._results.clear()
+        self._reports.clear()
+        self._decisions.clear()
+        self._baselines.clear()

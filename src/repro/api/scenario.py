@@ -1,0 +1,231 @@
+"""The :class:`Scenario` design point: one architecture/hardware configuration.
+
+Every analysis in the paper — Tables 2–5, Figures 5–6, the offload, energy
+and training studies — is a function of the same handful of knobs:
+
+* which architecture (``model``) at which depth (``depth``),
+* how many MAC units the PL ODEBlock instantiates (``n_units``),
+* the fixed-point format of the PL datapath (``word_length`` /
+  ``fraction_bits``, i.e. the Q-format),
+* the ODE solver used for the block dynamics (``solver``; Euler in the
+  paper, higher-order Runge–Kutta for the ablation),
+* the board and its PL clock (``board`` / ``pl_clock_hz``).
+
+A :class:`Scenario` bundles those knobs into one frozen, hashable, validated
+value object.  Hashability is what makes design-space sweeps cheap: the
+:class:`repro.api.evaluator.Evaluator` memoizes per scenario, and
+:func:`repro.api.sweep.sweep` fans thousands of scenarios out over a worker
+pool without re-deriving anything.
+
+Use :func:`scenario_grid` to build the cartesian product of several knob
+axes (the design-space grid the ``repro-odenet sweep`` subcommand runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.execution_model import PAPER_OFFLOAD_TARGETS, TABLE5_MODELS
+from ..core.variants import SUPPORTED_DEPTHS, VARIANT_NAMES, variant_spec
+from ..fixedpoint.qformat import QFormat
+from ..fpga.device import PYNQ_Z2, BoardSpec
+from ..ode.solvers import available_methods, get_solver
+
+__all__ = [
+    "Scenario",
+    "scenario_grid",
+    "fraction_bits_for",
+    "SCENARIO_MODELS",
+    "DEFAULT_FRACTION_BITS",
+    "BOARDS",
+]
+
+
+#: Model names a scenario accepts: the Table-4 variants plus the Table-5 row
+#: name "ODENet-3" (ODENet-N with only layer3_2 offloaded).
+SCENARIO_MODELS: Tuple[str, ...] = tuple(VARIANT_NAMES) + ("ODENet-3",)
+
+#: Boards a scenario can target (the paper evaluates one).
+BOARDS: Dict[str, BoardSpec] = {PYNQ_Z2.name: PYNQ_Z2}
+
+#: Conventional fraction bits per word length (the paper's Q20 at 32 bits and
+#: the footnote-2 reduced-precision formats).  Used when a grid axis names a
+#: word length without an explicit fraction length.
+DEFAULT_FRACTION_BITS: Dict[int, int] = {32: 20, 16: 8, 12: 6, 8: 4}
+
+_CANONICAL_MODELS = {name.lower(): name for name in SCENARIO_MODELS}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of the design space (frozen, hashable, validated).
+
+    Raises :class:`ValueError` on construction for an unknown model, a depth
+    outside the CIFAR ResNet family or incompatible with the variant's
+    execution budget, a non-positive MAC-unit count, an invalid Q-format, an
+    unknown solver, or an unknown board.
+    """
+
+    model: str = "rODENet-3"
+    depth: int = 56
+    n_units: int = 16
+    word_length: int = 32
+    fraction_bits: int = 20
+    solver: str = "euler"
+    board: str = PYNQ_Z2.name
+    pl_clock_hz: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        canonical = _CANONICAL_MODELS.get(str(self.model).lower())
+        if canonical is None:
+            raise ValueError(
+                f"unknown model '{self.model}'; expected one of {SCENARIO_MODELS}"
+            )
+        object.__setattr__(self, "model", canonical)
+
+        # Depth validation (divisibility and execution-budget checks) is
+        # delegated to the Table-4 construction, the single source of truth.
+        variant_spec(self.variant, self.depth)
+
+        # No upper bound: the cycle model caps effective parallelism by the
+        # block's output channels, and oversizing only wastes resources —
+        # both are findings a sweep should surface, not reject.
+        if not isinstance(self.n_units, int) or self.n_units < 1:
+            raise ValueError(
+                f"n_units must be a positive integer (got {self.n_units!r})"
+            )
+
+        # QFormat.__post_init__ validates word/fraction lengths.
+        QFormat(self.word_length, self.fraction_bits)
+
+        solver_key = str(self.solver).lower()
+        if solver_key not in available_methods():
+            raise ValueError(
+                f"unknown solver '{self.solver}'; available: {', '.join(available_methods())}"
+            )
+        object.__setattr__(self, "solver", solver_key)
+
+        if self.board not in BOARDS:
+            raise ValueError(f"unknown board '{self.board}'; known: {tuple(BOARDS)}")
+        if self.pl_clock_hz is None:
+            object.__setattr__(self, "pl_clock_hz", BOARDS[self.board].pl_clock_hz)
+        elif self.pl_clock_hz <= 0:
+            raise ValueError("pl_clock_hz must be positive")
+
+    # -- derived views ---------------------------------------------------------------
+
+    @property
+    def variant(self) -> str:
+        """The underlying Table-4 variant name ("ODENet-3" rows use ODENet)."""
+
+        return "ODENet" if self.model == "ODENet-3" else self.model
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.model}-{self.depth}"
+
+    @property
+    def qformat(self) -> QFormat:
+        return QFormat(self.word_length, self.fraction_bits)
+
+    @property
+    def board_spec(self) -> BoardSpec:
+        """The board, with the PL clock overridden when the scenario asks."""
+
+        base = BOARDS[self.board]
+        if self.pl_clock_hz == base.pl_clock_hz:
+            return base
+        return dataclasses.replace(base, pl_clock_hz=self.pl_clock_hz)
+
+    @property
+    def solver_stages(self) -> int:
+        """Dynamics evaluations per solver step (1 for Euler, 4 for RK4)."""
+
+        return get_solver(self.solver).stages_per_step
+
+    @property
+    def paper_offload_targets(self) -> Tuple[str, ...]:
+        return PAPER_OFFLOAD_TARGETS.get(self.model, ())
+
+    # -- conversion ------------------------------------------------------------------
+
+    def replace(self, **changes) -> "Scenario":
+        """A copy of this scenario with some knobs changed (re-validated)."""
+
+        return dataclasses.replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "depth": self.depth,
+            "n_units": self.n_units,
+            "word_length": self.word_length,
+            "fraction_bits": self.fraction_bits,
+            "solver": self.solver,
+            "board": self.board,
+            "pl_clock_hz": self.pl_clock_hz,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+def fraction_bits_for(word_length: int, fraction_bits: Optional[int] = None) -> int:
+    """Resolve the fraction length for a word length (conventional default).
+
+    An explicit ``fraction_bits`` wins; otherwise the conventional Q-format
+    of :data:`DEFAULT_FRACTION_BITS` applies, and an unconventional word
+    length without an explicit fraction raises :class:`ValueError`.
+    """
+
+    if fraction_bits is not None:
+        return fraction_bits
+    if word_length in DEFAULT_FRACTION_BITS:
+        return DEFAULT_FRACTION_BITS[word_length]
+    raise ValueError(
+        f"no conventional fraction length for a {word_length}-bit word; "
+        "pass fraction_bits explicitly"
+    )
+
+
+def scenario_grid(
+    models: Sequence[str] = TABLE5_MODELS,
+    depths: Sequence[int] = SUPPORTED_DEPTHS,
+    n_units: Sequence[int] = (16,),
+    word_lengths: Sequence[int] = (32,),
+    solvers: Sequence[str] = ("euler",),
+    fraction_bits: Optional[int] = None,
+    **common,
+) -> List[Scenario]:
+    """Cartesian product of knob axes as a list of validated scenarios.
+
+    The iteration order is deterministic (models outermost, solvers
+    innermost) so sweep outputs are stable row-for-row.  ``common`` passes
+    fixed fields (e.g. ``board=...``) to every scenario.
+    """
+
+    grid: List[Scenario] = []
+    for model in models:
+        for depth in depths:
+            for units in n_units:
+                for wl in word_lengths:
+                    for solver in solvers:
+                        grid.append(
+                            Scenario(
+                                model=model,
+                                depth=depth,
+                                n_units=units,
+                                word_length=wl,
+                                fraction_bits=fraction_bits_for(wl, fraction_bits),
+                                solver=solver,
+                                **common,
+                            )
+                        )
+    return grid

@@ -1,8 +1,9 @@
 """Command-line interface for regenerating the paper's results.
 
-Installed as the ``repro-odenet`` console script (see pyproject.toml), or run
-as ``python -m repro.cli``.  Sub-commands map one-to-one onto the paper's
-tables/figures plus the offload/energy/training design tools:
+Installed as the ``repro-odenet`` console script, or run as
+``python -m repro.cli``.  Sub-commands map one-to-one onto the paper's
+tables/figures plus the offload/energy/training design tools and the
+design-space engine:
 
 ============  ==========================================================
 sub-command    output
@@ -17,117 +18,311 @@ figure6        accuracy vs depth series (paper-scale model)
 offload        offload plan for one architecture (resources/timing/speedup)
 energy         per-prediction energy with vs without the PL offload
 training       projected training cost (future-work analysis)
+eval           full structured report for one scenario
+sweep          design-space grid (variants x depths x MAC units x ...)
 ============  ==========================================================
+
+Every sub-command accepts ``--json`` to emit the structured result instead
+of the formatted text tables.
+
+The commands are registered with the :func:`command` decorator and all of
+them are served by one :class:`repro.api.Evaluator`, so adding a new
+analysis is a matter of writing a handler that maps parsed arguments to
+scenarios — no dispatch chain to extend.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
-from .analysis import (
-    accuracy_table,
-    figure5_series,
-    figure6_series,
-    format_records,
-    format_series,
-    table1_records,
-    table2_records,
-    table3_records,
-    table4_records,
-    table5_records,
+from .analysis import format_records, format_series
+from .api import (
+    SCENARIO_MODELS,
+    TRAINING_PROJECTION_KEYS,
+    Evaluator,
+    Scenario,
+    fraction_bits_for,
+    results_to_csv,
+    results_to_json,
+    results_to_records,
+    scenario_grid,
 )
-from .core import ExecutionTimeModel, OffloadPlanner, SUPPORTED_DEPTHS, VARIANT_NAMES
-from .core.training_model import TrainingTimeModel
-from .fpga.power import PowerModel
-from .fpga.resources import ResourceEstimator
+from .api import sweep as run_sweep
+from .core import SUPPORTED_DEPTHS
+from .ode.solvers import available_methods
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "command", "registered_commands"]
+
+#: Model names accepted by the scenario-driven sub-commands (the single
+#: source of truth is what :class:`repro.api.Scenario` validates against).
+MODEL_CHOICES: List[str] = list(SCENARIO_MODELS)
+
+
+@dataclass(frozen=True)
+class CommandOutput:
+    """What a handler returns: rendered text plus the structured payload."""
+
+    text: str
+    data: object
+
+
+@dataclass(frozen=True)
+class CliCommand:
+    """One registered sub-command."""
+
+    name: str
+    help: str
+    configure: Optional[Callable[[argparse.ArgumentParser], None]]
+    handler: Callable[[argparse.Namespace, Evaluator], CommandOutput]
+
+
+_REGISTRY: Dict[str, CliCommand] = {}
+
+
+def command(name: str, help: str = "", configure=None):
+    """Register a sub-command handler (replaces the old if/elif dispatch)."""
+
+    def decorator(fn):
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate CLI command '{name}'")
+        _REGISTRY[name] = CliCommand(name=name, help=help, configure=configure, handler=fn)
+        return fn
+
+    return decorator
+
+
+def registered_commands() -> Dict[str, CliCommand]:
+    """The command registry (read-only view for tests and tooling)."""
+
+    return dict(_REGISTRY)
+
+
+# -- table commands ---------------------------------------------------------------------
+
+
+@command("table1", help="PYNQ-Z2 board specification")
+def _cmd_table1(args, evaluator: Evaluator) -> CommandOutput:
+    records = evaluator.table1_records()
+    return CommandOutput(format_records(records, title="Table 1: PYNQ-Z2 specification"), records)
+
+
+@command("table2", help="ODENet layer structure / parameter sizes")
+def _cmd_table2(args, evaluator: Evaluator) -> CommandOutput:
+    records = evaluator.table2_records()
+    return CommandOutput(format_records(records, title="Table 2: ODENet structure"), records)
+
+
+def _configure_table3(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--no-estimates", action="store_true", help="omit the analytical model columns")
+
+
+@command("table3", help="FPGA resource utilisation", configure=_configure_table3)
+def _cmd_table3(args, evaluator: Evaluator) -> CommandOutput:
+    records = evaluator.table3_records(include_estimates=not args.no_estimates)
+    return CommandOutput(format_records(records, title="Table 3: resource utilisation"), records)
+
+
+def _configure_table4(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--depth", type=int, default=56, choices=SUPPORTED_DEPTHS)
+
+
+@command("table4", help="variant structures", configure=_configure_table4)
+def _cmd_table4(args, evaluator: Evaluator) -> CommandOutput:
+    records = evaluator.table4_records(args.depth)
+    return CommandOutput(format_records(records, title=f"Table 4 (N={args.depth})"), records)
+
+
+def _configure_table5(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--depth", type=int, default=None, choices=SUPPORTED_DEPTHS)
+    p.add_argument("--n-units", type=int, default=16, help="MAC units of the PL design")
+
+
+@command("table5", help="execution times and speedups", configure=_configure_table5)
+def _cmd_table5(args, evaluator: Evaluator) -> CommandOutput:
+    depths = (args.depth,) if args.depth else SUPPORTED_DEPTHS
+    records = evaluator.table5_records(depths=depths, n_units=args.n_units)
+    return CommandOutput(format_records(records, title="Table 5"), records)
+
+
+# -- figure commands --------------------------------------------------------------------
+
+
+@command("figure5", help="parameter size vs depth")
+def _cmd_figure5(args, evaluator: Evaluator) -> CommandOutput:
+    series = evaluator.figure5_series()
+    return CommandOutput(format_series(series, title="Figure 5: parameter size [kB]"), series)
+
+
+def _configure_figure6(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--paper-only", action="store_true", help="only values quoted verbatim by the paper")
+    p.add_argument("--points", action="store_true", help="list every point with its source")
+
+
+@command("figure6", help="accuracy vs depth (paper-scale model)", configure=_configure_figure6)
+def _cmd_figure6(args, evaluator: Evaluator) -> CommandOutput:
+    if args.points:
+        records = evaluator.accuracy_table()
+        return CommandOutput(format_records(records, title="Figure 6 points"), records)
+    series = evaluator.figure6_series(paper_only=args.paper_only)
+    return CommandOutput(format_series(series, title="Figure 6: accuracy [%]"), series)
+
+
+# -- scenario commands ------------------------------------------------------------------
+
+
+def _configure_offload(p: argparse.ArgumentParser) -> None:
+    p.add_argument("model", choices=MODEL_CHOICES)
+    p.add_argument("--depth", type=int, default=56, choices=SUPPORTED_DEPTHS)
+    p.add_argument("--n-units", type=int, default=16)
+
+
+@command("offload", help="offload plan for one architecture", configure=_configure_offload)
+def _cmd_offload(args, evaluator: Evaluator) -> CommandOutput:
+    result = evaluator.evaluate(Scenario(model=args.model, depth=args.depth, n_units=args.n_units))
+    lines = [f"Offload plan for {args.model}-{args.depth} (conv_x{args.n_units})"]
+    lines.append(f"  targets          : {', '.join(result.resources['targets']) or '(none)'}")
+    lines.append(f"  PL resources     : {result.resource_vector()}")
+    lines.append(f"  fits XC7Z020     : {result.resources['fits_device']}")
+    lines.append(f"  meets 100 MHz    : {result.resources['meets_timing']}")
+    lines.append(f"  expected speedup : {result.timing['overall_speedup']:.2f}x")
+    return CommandOutput("\n".join(lines), result.as_dict())
+
+
+def _configure_energy(p: argparse.ArgumentParser) -> None:
+    p.add_argument("model", choices=MODEL_CHOICES)
+    p.add_argument("--depth", type=int, default=56, choices=SUPPORTED_DEPTHS)
+    p.add_argument("--n-units", type=int, default=16)
+
+
+@command("energy", help="per-prediction energy with vs without the PL", configure=_configure_energy)
+def _cmd_energy(args, evaluator: Evaluator) -> CommandOutput:
+    result = evaluator.evaluate(Scenario(model=args.model, depth=args.depth, n_units=args.n_units))
+    text = format_records(
+        [dict(result.energy)], title=f"Energy per prediction: {args.model}-{args.depth}"
+    )
+    return CommandOutput(text, result.as_dict())
+
+
+def _configure_training(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--depth", type=int, default=56, choices=SUPPORTED_DEPTHS)
+    p.add_argument("--models", nargs="*", default=["ResNet", "rODENet-3"], choices=MODEL_CHOICES)
+
+
+@command("training", help="projected training cost (future work)", configure=_configure_training)
+def _cmd_training(args, evaluator: Evaluator) -> CommandOutput:
+    rows = []
+    data = []
+    for name in args.models:
+        result = evaluator.evaluate(Scenario(model=name, depth=args.depth))
+        row = dict(result.training)
+        for key in TRAINING_PROJECTION_KEYS:
+            row[key] = round(row[key], 3)
+        rows.append(row)
+        data.append(result.as_dict())
+    text = format_records(rows, title=f"Projected training cost at N={args.depth} (future-work model)")
+    return CommandOutput(text, data)
+
+
+def _add_scenario_knobs(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--wordlength", type=int, default=32, help="fixed-point word length in bits")
+    p.add_argument(
+        "--fraction-bits",
+        type=int,
+        default=None,
+        help="fixed-point fraction bits (defaults to the conventional Q-format)",
+    )
+    p.add_argument("--solver", choices=available_methods(), default="euler")
+
+
+def _configure_eval(p: argparse.ArgumentParser) -> None:
+    p.add_argument("model", nargs="?", default="rODENet-3", choices=MODEL_CHOICES)
+    p.add_argument("--depth", type=int, default=56)
+    p.add_argument("--n-units", type=int, default=16)
+    _add_scenario_knobs(p)
+
+
+@command("eval", help="full structured report for one scenario", configure=_configure_eval)
+def _cmd_eval(args, evaluator: Evaluator) -> CommandOutput:
+    scenario = Scenario(
+        model=args.model,
+        depth=args.depth,
+        n_units=args.n_units,
+        word_length=args.wordlength,
+        fraction_bits=fraction_bits_for(args.wordlength, args.fraction_bits),
+        solver=args.solver,
+    )
+    result = evaluator.evaluate(scenario)
+    return CommandOutput(result.render(), result.as_dict())
+
+
+def _configure_sweep(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--models", nargs="*", default=None, choices=MODEL_CHOICES,
+                   help="variants to sweep (default: all Table-5 rows)")
+    p.add_argument("--depths", nargs="*", type=int, default=list(SUPPORTED_DEPTHS))
+    p.add_argument("--n-units", nargs="*", type=int, default=[16])
+    p.add_argument("--wordlengths", nargs="*", type=int, default=[32])
+    p.add_argument(
+        "--fraction-bits",
+        type=int,
+        default=None,
+        help="fraction bits applied to every --wordlengths value "
+        "(default: the conventional Q-format per word length)",
+    )
+    p.add_argument("--solvers", nargs="*", choices=available_methods(), default=["euler"])
+    p.add_argument("--workers", type=int, default=1, help="thread-pool width for the sweep")
+    p.add_argument("--format", choices=("table", "csv", "json"), default="table")
+
+
+@command("sweep", help="design-space grid over variants/depths/units/formats", configure=_configure_sweep)
+def _cmd_sweep(args, evaluator: Evaluator) -> CommandOutput:
+    axes = dict(
+        depths=args.depths,
+        n_units=args.n_units,
+        word_lengths=args.wordlengths,
+        fraction_bits=args.fraction_bits,
+        solvers=args.solvers,
+    )
+    if args.models is not None:
+        axes["models"] = args.models
+    grid = scenario_grid(**axes)
+    results = run_sweep(grid, evaluator=evaluator, workers=args.workers)
+    data = [r.as_dict() for r in results]
+    if args.format == "csv":
+        text = results_to_csv(results)
+    elif args.format == "json":
+        text = results_to_json(results)
+    else:
+        text = format_records(
+            results_to_records(results), title=f"Design-space sweep ({len(results)} scenarios)"
+        )
+    return CommandOutput(text, data)
+
+
+# -- parser / entry point ---------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser for the repro CLI."""
+    """Construct the argument parser from the command registry."""
 
     parser = argparse.ArgumentParser(
         prog="repro-odenet",
         description="Regenerate results of 'Accelerating ODE-Based Neural Networks on Low-Cost FPGAs'",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser("table1", help="PYNQ-Z2 board specification")
-    sub.add_parser("table2", help="ODENet layer structure / parameter sizes")
-
-    p3 = sub.add_parser("table3", help="FPGA resource utilisation")
-    p3.add_argument("--no-estimates", action="store_true", help="omit the analytical model columns")
-
-    p4 = sub.add_parser("table4", help="variant structures")
-    p4.add_argument("--depth", type=int, default=56, choices=SUPPORTED_DEPTHS)
-
-    p5 = sub.add_parser("table5", help="execution times and speedups")
-    p5.add_argument("--depth", type=int, default=None, choices=SUPPORTED_DEPTHS)
-    p5.add_argument("--n-units", type=int, default=16, help="MAC units of the PL design")
-
-    sub.add_parser("figure5", help="parameter size vs depth")
-
-    p6 = sub.add_parser("figure6", help="accuracy vs depth (paper-scale model)")
-    p6.add_argument("--paper-only", action="store_true", help="only values quoted verbatim by the paper")
-    p6.add_argument("--points", action="store_true", help="list every point with its source")
-
-    po = sub.add_parser("offload", help="offload plan for one architecture")
-    po.add_argument("model", choices=list(VARIANT_NAMES) + ["ODENet-3"])
-    po.add_argument("--depth", type=int, default=56, choices=SUPPORTED_DEPTHS)
-    po.add_argument("--n-units", type=int, default=16)
-
-    pe = sub.add_parser("energy", help="per-prediction energy with vs without the PL")
-    pe.add_argument("model", choices=list(VARIANT_NAMES) + ["ODENet-3"])
-    pe.add_argument("--depth", type=int, default=56, choices=SUPPORTED_DEPTHS)
-    pe.add_argument("--n-units", type=int, default=16)
-
-    pt = sub.add_parser("training", help="projected training cost (future work)")
-    pt.add_argument("--depth", type=int, default=56, choices=SUPPORTED_DEPTHS)
-    pt.add_argument("--models", nargs="*", default=["ResNet", "rODENet-3"])
-
+    for cmd in _REGISTRY.values():
+        p = sub.add_parser(cmd.name, help=cmd.help)
+        if cmd.configure is not None:
+            cmd.configure(p)
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="emit the structured result as JSON instead of formatted text",
+        )
     return parser
-
-
-def _cmd_table5(args) -> str:
-    depths = (args.depth,) if args.depth else SUPPORTED_DEPTHS
-    return format_records(table5_records(depths=depths, n_units=args.n_units), title="Table 5")
-
-
-def _cmd_offload(args) -> str:
-    planner = OffloadPlanner(n_units=args.n_units)
-    decision = planner.plan(args.model, args.depth, n_units=args.n_units)
-    lines = [f"Offload plan for {args.model}-{args.depth} (conv_x{args.n_units})"]
-    lines.append(f"  targets          : {', '.join(decision.targets) or '(none)'}")
-    lines.append(f"  PL resources     : {decision.resources.as_dict()}")
-    lines.append(f"  fits XC7Z020     : {decision.fits_device}")
-    lines.append(f"  meets 100 MHz    : {decision.meets_timing}")
-    lines.append(f"  expected speedup : {decision.expected_speedup:.2f}x")
-    return "\n".join(lines)
-
-
-def _cmd_energy(args) -> str:
-    execution = ExecutionTimeModel(n_units=args.n_units)
-    planner = OffloadPlanner(n_units=args.n_units, execution_model=execution)
-    decision = planner.plan(args.model, args.depth, n_units=args.n_units)
-    power = PowerModel(execution_model=execution)
-    comparison = power.compare(args.model, args.depth, decision.resources)
-    records = [comparison]
-    return format_records(records, title=f"Energy per prediction: {args.model}-{args.depth}")
-
-
-def _cmd_training(args) -> str:
-    model = TrainingTimeModel()
-    rows = []
-    for name in args.models:
-        report = model.report(name, args.depth)
-        row = report.as_dict()
-        projections = model.epoch_table((name,), args.depth)[name]
-        row.update({k: round(v, 3) for k, v in projections.items()})
-        rows.append(row)
-    return format_records(rows, title=f"Projected training cost at N={args.depth} (future-work model)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -135,39 +330,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
-
-    if args.command == "table1":
-        output = format_records(table1_records(), title="Table 1: PYNQ-Z2 specification")
-    elif args.command == "table2":
-        output = format_records(table2_records(), title="Table 2: ODENet structure")
-    elif args.command == "table3":
-        output = format_records(
-            table3_records(include_estimates=not args.no_estimates), title="Table 3: resource utilisation"
-        )
-    elif args.command == "table4":
-        output = format_records(table4_records(args.depth), title=f"Table 4 (N={args.depth})")
-    elif args.command == "table5":
-        output = _cmd_table5(args)
-    elif args.command == "figure5":
-        output = format_series(figure5_series(), title="Figure 5: parameter size [kB]")
-    elif args.command == "figure6":
-        if args.points:
-            output = format_records(accuracy_table(), title="Figure 6 points")
-        else:
-            output = format_series(
-                figure6_series(paper_only=args.paper_only), title="Figure 6: accuracy [%]"
-            )
-    elif args.command == "offload":
-        output = _cmd_offload(args)
-    elif args.command == "energy":
-        output = _cmd_energy(args)
-    elif args.command == "training":
-        output = _cmd_training(args)
-    else:  # pragma: no cover - argparse enforces the choices
-        parser.error(f"unknown command {args.command}")
+    cmd = _REGISTRY[args.command]
+    evaluator = Evaluator()
+    try:
+        output = cmd.handler(args, evaluator)
+    except ValueError as exc:
+        # Scenario/sweep validation errors (bad depth, n_units, workers, ...)
+        # surface as clean CLI errors rather than tracebacks.
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
         return 2
-
-    print(output)
+    if getattr(args, "json", False):
+        print(json.dumps(output.data, indent=2))
+    else:
+        print(output.text)
     return 0
 
 

@@ -23,7 +23,7 @@ from ..fpga.cycles import CycleModelConfig, OdeBlockCycleModel
 from ..fpga.device import PYNQ_Z2, BoardSpec
 from ..hwsw.ps_model import PsModelConfig, SoftwareCostModel
 from .network_spec import LAYER_ORDER, layer_geometry
-from .variants import SUPPORTED_DEPTHS, VariantSpec, variant_spec
+from .variants import SUPPORTED_DEPTHS, BlockRealization, VariantSpec, variant_spec
 
 __all__ = [
     "LayerTimeEntry",
@@ -190,13 +190,19 @@ class ExecutionTimeModel:
             elementwise_passes=geom.elementwise_passes,
         )
 
-    def pl_layer_seconds(self, layer: str) -> float:
-        """PL time of one execution of an offloadable layer group (compute + DMA)."""
+    def pl_layer_seconds(self, layer: str, n_units: Optional[int] = None) -> float:
+        """PL time of one execution of an offloadable layer group (compute + DMA).
+
+        ``n_units`` overrides the model's default MAC-unit count for this
+        query only (the model itself is not mutated, so concurrent callers
+        can share one instance).
+        """
 
         geom = layer_geometry(layer)
         fpga_geom = geom.fpga_geometry()
+        units = self.n_units if n_units is None else n_units
         compute = self.cycle_model.block_time_seconds(
-            fpga_geom, self.n_units, clock_hz=self.board.pl_clock_hz
+            fpga_geom, units, clock_hz=self.board.pl_clock_hz
         )
         transfer = (
             self.transfer_model.block_round_trip(fpga_geom).seconds
@@ -212,14 +218,22 @@ class ExecutionTimeModel:
         model_name: str,
         depth: int,
         offload_targets: Optional[Sequence[str]] = None,
+        n_units: Optional[int] = None,
+        solver_stages: int = 1,
     ) -> ExecutionTimeReport:
         """Execution-time report for one Table-5 row.
 
         ``model_name`` may be any Table-4 variant or the Table-5 row name
         "ODENet-3".  When ``offload_targets`` is omitted the paper's targets
-        (:data:`PAPER_OFFLOAD_TARGETS`) are used.
+        (:data:`PAPER_OFFLOAD_TARGETS`) are used.  ``n_units`` overrides the
+        model's default MAC-unit count for this report only (no mutation).
+        ``solver_stages`` multiplies the execution count of every ODEBlock
+        layer: a higher-order Runge-Kutta solver evaluates the block dynamics
+        ``stages`` times per step (Euler, the paper's choice, is 1).
         """
 
+        if solver_stages < 1:
+            raise ValueError("solver_stages must be a positive integer")
         variant_name = _variant_for_row(model_name)
         spec = variant_spec(variant_name, depth)
         if offload_targets is None:
@@ -232,9 +246,11 @@ class ExecutionTimeModel:
             executions = plan.total_executions
             if executions == 0:
                 continue
+            if plan.realization == BlockRealization.ODEBLOCK:
+                executions *= solver_stages
             sw = self.software_layer_seconds(layer)
             offloaded = layer in targets
-            pl = self.pl_layer_seconds(layer) if offloaded else None
+            pl = self.pl_layer_seconds(layer, n_units) if offloaded else None
             entries.append(
                 LayerTimeEntry(
                     layer=layer,
@@ -280,12 +296,4 @@ class ExecutionTimeModel:
     ) -> Dict[int, ExecutionTimeReport]:
         """Speedup sensitivity to the MAC-unit count (ablation E9)."""
 
-        out: Dict[int, ExecutionTimeReport] = {}
-        original = self.n_units
-        try:
-            for n in unit_counts:
-                self.n_units = n
-                out[n] = self.report(model_name, depth)
-        finally:
-            self.n_units = original
-        return out
+        return {n: self.report(model_name, depth, n_units=n) for n in unit_counts}

@@ -15,10 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..fixedpoint.qformat import QFormat
 from ..fpga.device import PYNQ_Z2, BoardSpec, ResourceVector
 from ..fpga.resources import ResourceEstimator
 from ..fpga.timing import TimingModel
-from .execution_model import ExecutionTimeModel, PAPER_OFFLOAD_TARGETS
+from .execution_model import ExecutionTimeModel, ExecutionTimeReport, PAPER_OFFLOAD_TARGETS
 from .network_spec import OFFLOADABLE_LAYER_NAMES, layer_geometry
 from .variants import VariantSpec, variant_spec
 
@@ -63,10 +64,14 @@ class OffloadPlanner:
         board: BoardSpec = PYNQ_Z2,
         n_units: int = 16,
         execution_model: Optional[ExecutionTimeModel] = None,
+        qformat: Optional[QFormat] = None,
     ) -> None:
         self.board = board
         self.n_units = n_units
-        self.resource_estimator = ResourceEstimator(board.fpga)
+        if qformat is not None:
+            self.resource_estimator = ResourceEstimator(board.fpga, qformat=qformat)
+        else:
+            self.resource_estimator = ResourceEstimator(board.fpga)
         self.timing_model = TimingModel()
         self.execution_model = execution_model or ExecutionTimeModel(board, n_units=n_units)
 
@@ -112,22 +117,27 @@ class OffloadPlanner:
         depth: int,
         targets: Optional[Sequence[str]] = None,
         n_units: Optional[int] = None,
+        report: Optional[ExecutionTimeReport] = None,
     ) -> OffloadDecision:
-        """Produce a full offload decision for one architecture."""
+        """Produce a full offload decision for one architecture.
+
+        ``n_units`` is an optional override; it defaults to the planner's
+        constructor value, so callers that configured the planner once do not
+        need to repeat the MAC-unit count here.  ``report`` lets a caller
+        that already holds the execution-time report for the chosen targets
+        (e.g. one with solver-stage scaling applied) supply it, so the
+        expected speedup is taken from that report instead of recomputing.
+        """
 
         n = n_units if n_units is not None else self.n_units
         chosen = tuple(targets) if targets is not None else self.proposed_targets(model_name, depth)
         resources = self.resources_for_targets(chosen, n) if chosen else ResourceVector()
         fits = resources.fits(self.board.fpga) if chosen else True
         timing_ok = self.timing_model.analyze(n, target_hz=self.board.pl_clock_hz).meets_timing
-        # The expected speedup must reflect the requested parallelism, which
-        # may differ from the execution model's default.
-        original_units = self.execution_model.n_units
-        try:
-            self.execution_model.n_units = n
-            report = self.execution_model.report(model_name, depth, offload_targets=chosen)
-        finally:
-            self.execution_model.n_units = original_units
+        if report is None:
+            # The expected speedup must reflect the requested parallelism,
+            # which may differ from the execution model's default.
+            report = self.execution_model.report(model_name, depth, offload_targets=chosen, n_units=n)
         return OffloadDecision(
             model=model_name,
             depth=depth,

@@ -141,11 +141,20 @@ class PowerModel:
         """Energy with vs without the PL offload for one architecture."""
 
         report = self.execution_model.report(model_name, depth)
+        return self.compare_report(report, resources)
+
+    def compare_report(self, report: "ExecutionTimeReport", resources: ResourceVector) -> Dict[str, float]:
+        """Energy comparison for an already-computed execution-time report.
+
+        Lets callers that have a report in hand (e.g. the scenario evaluator)
+        reuse it instead of re-deriving the Table-5 row.
+        """
+
         without = self.energy_without_pl(report)
         with_pl = self.energy_with_pl(report, resources)
         return {
-            "model": model_name,
-            "N": depth,
+            "model": report.model,
+            "N": report.depth,
             "energy_without_pl_J": without.total_energy_j,
             "energy_with_pl_J": with_pl.total_energy_j,
             "energy_ratio": without.total_energy_j / with_pl.total_energy_j if with_pl.total_energy_j else float("inf"),

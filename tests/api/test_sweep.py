@@ -1,0 +1,73 @@
+"""Design-space sweep engine: determinism, parallel fan-out, serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    Evaluator,
+    Scenario,
+    results_to_csv,
+    results_to_json,
+    results_to_records,
+    scenario_grid,
+    sweep,
+)
+
+GRID = dict(models=("rODENet-3", "Hybrid-3"), depths=(20, 56), n_units=(8, 16))
+
+
+def test_sweep_returns_results_in_input_order():
+    scenarios = scenario_grid(**GRID)
+    results = sweep(scenarios)
+    assert [r.scenario for r in results] == scenarios
+
+
+def test_sweep_workers_1_vs_4_identical():
+    scenarios = scenario_grid(**GRID)
+    serial = sweep(scenarios, evaluator=Evaluator(), workers=1)
+    parallel = sweep(scenarios, evaluator=Evaluator(), workers=4)
+    assert [r.as_dict() for r in serial] == [r.as_dict() for r in parallel]
+
+
+def test_sweep_memoizes_duplicates():
+    ev = Evaluator()
+    results = sweep([Scenario(), Scenario(), Scenario()], evaluator=ev, workers=2)
+    assert ev.cached_result_count == 1
+    assert results[0] is results[1] is results[2]
+
+
+def test_sweep_rejects_bad_workers():
+    with pytest.raises(ValueError, match="workers"):
+        sweep([Scenario()], workers=0)
+
+
+def test_csv_output_one_row_per_scenario():
+    results = sweep(scenario_grid(**GRID))
+    text = results_to_csv(results)
+    lines = text.splitlines()
+    assert len(lines) == 1 + len(results)
+    header = lines[0].split(",")
+    for column in ("model", "depth", "n_units", "bram", "dsp",
+                   "total_w_pl_s", "overall_speedup", "energy_ratio"):
+        assert column in header
+    for line in lines[1:]:
+        assert len(line.split(",")) == len(header)
+
+
+def test_csv_empty_results():
+    assert results_to_csv([]) == ""
+
+
+def test_json_output_parses():
+    results = sweep(scenario_grid(models=("rODENet-3",), depths=(56,)))
+    data = json.loads(results_to_json(results))
+    assert len(data) == 1
+    assert data[0]["scenario"]["model"] == "rODENet-3"
+
+
+def test_records_are_flat():
+    records = results_to_records(sweep(scenario_grid(models=("rODENet-3",), depths=(56,))))
+    assert all(not isinstance(v, (dict, list)) for v in records[0].values())

@@ -2,9 +2,29 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, registered_commands
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Default invocation of each pre-registry subcommand, matched against the
+#: golden captures taken from the seed CLI (byte-identical port guarantee).
+GOLDEN_INVOCATIONS = {
+    "table1": ["table1"],
+    "table2": ["table2"],
+    "table3": ["table3"],
+    "table4": ["table4"],
+    "table5": ["table5"],
+    "figure5": ["figure5"],
+    "figure6": ["figure6"],
+    "offload": ["offload", "rODENet-3"],
+    "energy": ["energy", "rODENet-3"],
+    "training": ["training"],
+}
 
 
 def run_cli(capsys, *argv) -> str:
@@ -85,3 +105,98 @@ class TestDesignCommands:
         out = run_cli(capsys, "training", "--depth", "56", "--models", "ResNet", "rODENet-3")
         assert "step_speedup" in out
         assert "rODENet-3" in out
+
+
+class TestGoldenOutputs:
+    """The registry port must not change any pre-existing default output."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_INVOCATIONS))
+    def test_byte_identical_with_seed(self, capsys, name):
+        golden = (GOLDEN_DIR / f"{name}.txt").read_text()
+        assert run_cli(capsys, *GOLDEN_INVOCATIONS[name]) == golden
+
+
+class TestRegistry:
+    def test_every_command_is_registered_and_parseable(self):
+        commands = registered_commands()
+        parser = build_parser()
+        for name, cmd in commands.items():
+            assert cmd.name == name
+            assert callable(cmd.handler)
+            # Round-trip: the parser accepts each registered subcommand.
+            argv = GOLDEN_INVOCATIONS.get(name, [name])
+            args = parser.parse_args(argv)
+            assert args.command == name
+            assert hasattr(args, "json")
+
+    def test_all_nine_seed_commands_present_plus_new_ones(self):
+        names = set(registered_commands())
+        assert set(GOLDEN_INVOCATIONS) <= names
+        assert {"eval", "sweep"} <= names
+
+    def test_duplicate_registration_rejected(self):
+        from repro.cli import command
+
+        with pytest.raises(ValueError, match="duplicate"):
+            command("table1")(lambda args, ev: None)
+
+
+class TestJsonFlag:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_INVOCATIONS))
+    def test_json_output_parses_for_every_command(self, capsys, name):
+        out = run_cli(capsys, *GOLDEN_INVOCATIONS[name], "--json")
+        json.loads(out)
+
+    def test_offload_json_is_full_result(self, capsys):
+        data = json.loads(run_cli(capsys, "offload", "rODENet-3", "--json"))
+        assert data["scenario"]["model"] == "rODENet-3"
+        assert data["resources"]["fits_device"] is True
+        assert data["timing"]["overall_speedup"] == pytest.approx(2.66, abs=0.01)
+
+
+class TestEvalCommand:
+    def test_default_eval_reports_headline_design(self, capsys):
+        out = run_cli(capsys, "eval")
+        assert "Scenario rODENet-3-56" in out
+        for section in ("[parameters]", "[resources]", "[timing]", "[energy]", "[training]"):
+            assert section in out
+
+    def test_eval_json(self, capsys):
+        data = json.loads(run_cli(capsys, "eval", "rODENet-3", "--depth", "56", "--json"))
+        assert data["energy"]["energy_ratio"] > 1.0
+
+    def test_eval_solver_knob(self, capsys):
+        euler = json.loads(run_cli(capsys, "eval", "--solver", "euler", "--json"))
+        rk4 = json.loads(run_cli(capsys, "eval", "--solver", "rk4", "--json"))
+        assert rk4["timing"]["total_wo_pl_s"] > euler["timing"]["total_wo_pl_s"]
+
+
+class TestSweepCommand:
+    def test_csv_grid_one_row_per_scenario(self, capsys):
+        out = run_cli(capsys, "sweep", "--depths", "20", "56", "--n-units", "8", "16",
+                      "--format", "csv")
+        lines = out.strip().splitlines()
+        header = lines[0].split(",")
+        assert len(lines) == 1 + 7 * 2 * 2  # all Table-5 models x 2 depths x 2 unit counts
+        for column in ("bram", "dsp", "total_w_pl_s", "overall_speedup", "energy_ratio"):
+            assert column in header
+
+    def test_workers_do_not_change_output(self, capsys):
+        argv = ["sweep", "--models", "rODENet-3", "--depths", "20", "56",
+                "--n-units", "8", "16", "--format", "csv"]
+        serial = run_cli(capsys, *argv, "--workers", "1")
+        parallel = run_cli(capsys, *argv, "--workers", "4")
+        assert serial == parallel
+
+    def test_json_format(self, capsys):
+        out = run_cli(capsys, "sweep", "--models", "rODENet-3", "--depths", "56",
+                      "--format", "json")
+        data = json.loads(out)
+        assert len(data) == 1 and data[0]["scenario"]["depth"] == 56
+
+    def test_wordlength_axis(self, capsys):
+        out = run_cli(capsys, "sweep", "--models", "rODENet-3", "--depths", "56",
+                      "--wordlengths", "32", "16", "--format", "json")
+        data = json.loads(out)
+        assert [d["scenario"]["word_length"] for d in data] == [32, 16]
+        assert data[1]["resources"]["bram"] < data[0]["resources"]["bram"]
