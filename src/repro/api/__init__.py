@@ -16,10 +16,22 @@ and design-space grids run through :func:`sweep`:
 >>> len(results)
 4
 
+Large grids run through the vectorized batch engine, which computes the same
+models over whole scenario axes as NumPy arrays (bit-identical results, one
+to two orders of magnitude faster):
+
+>>> from repro.api import sweep_batch
+>>> table = sweep_batch(scenario_grid(models=("rODENet-3",), depths=(20, 56),
+...                                   n_units=(8, 16)))
+>>> len(table.pareto_front("total_w_pl_s", "bram"))  # latency/BRAM trade-off
+1
+
 Everything the CLI, the examples and the benchmarks print is derived from
-these three objects; see the package README for the quickstart.
+these objects; see the package README for the quickstart.
 """
 
+from .batch import BatchResult, pareto_indices, sweep_batch
+from .cache import ResultCache
 from .evaluator import TRAINING_PROJECTION_KEYS, Evaluator
 from .result import Result
 from .scenario import (
@@ -30,7 +42,7 @@ from .scenario import (
     fraction_bits_for,
     scenario_grid,
 )
-from .sweep import results_to_csv, results_to_json, results_to_records, sweep
+from .sweep import SweepError, results_to_csv, results_to_json, results_to_records, sweep
 
 __all__ = [
     "Scenario",
@@ -43,6 +55,11 @@ __all__ = [
     "TRAINING_PROJECTION_KEYS",
     "Result",
     "sweep",
+    "SweepError",
+    "sweep_batch",
+    "BatchResult",
+    "ResultCache",
+    "pareto_indices",
     "results_to_csv",
     "results_to_json",
     "results_to_records",

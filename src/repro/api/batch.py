@@ -1,0 +1,838 @@
+"""Vectorized batch-evaluation engine for large design-space sweeps.
+
+The loop engine (:func:`repro.api.sweep.sweep`) evaluates one scenario per
+Python call — fine for dozens of design points, GIL-bound Python overhead for
+thousands.  This module computes the same analytic models (parameter counts,
+the cycle/time model, AXI transfer, resource and power/energy estimates, the
+training projection) over whole scenario *axes* as NumPy arrays:
+
+* per-scenario quantities (MAC units, Q-format, PL clock, solver stages) are
+  evaluated with the array-capable kernels the scalar models now expose
+  (:func:`repro.core.execution_model.pl_layer_seconds_kernel`,
+  :func:`repro.fpga.resources.lut_count_kernel`,
+  :func:`repro.fpga.power.pl_power_kernel`, ...);
+* quantities that depend only on a handful of unique keys (the Table-4 layer
+  plans per ``(model, depth)``, BRAM plans per ``(layer, Q-format)``, timing
+  closure per ``(n_units, clock)``) are computed once per unique key with the
+  *scalar* code path and broadcast by integer codes.
+
+Because both paths execute the same IEEE-754 operations in the same order,
+the batch engine is **bit-identical** to the loop engine: for any grid,
+``sweep_batch(grid).to_results() == sweep(grid)`` field-for-field (enforced
+by ``tests/api/test_batch.py``).
+
+The result is a :class:`BatchResult` — a columnar table with ``to_csv`` /
+``to_json`` export, flat ``records()``, lossless ``to_results()``
+reconstruction and Pareto-front extraction over any two metric columns.
+
+Scenarios the vector path cannot handle (e.g. :class:`Scenario` subclasses
+that override derived behaviour) fall back to the loop engine, fanned out
+over a ``ProcessPoolExecutor``.  An optional persistent
+:class:`~repro.api.cache.ResultCache` makes repeated sweeps incremental.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.accuracy_model import accuracy_model
+from ..core.execution_model import (
+    ExecutionTimeModel,
+    PAPER_OFFLOAD_TARGETS,
+    pl_layer_seconds_kernel,
+)
+from ..core.network_spec import LAYER_ORDER, OFFLOADABLE_LAYER_NAMES, layer_geometry
+from ..core.offload import OffloadPlanner
+from ..core.parameter_model import variant_parameter_count
+from ..core.training_model import TrainingCostConfig
+from ..core.variants import BlockRealization, variant_spec
+from ..fixedpoint.qformat import QFormat
+from ..fpga.bram import plan_block_allocation
+from ..fpga.power import (
+    PowerModelConfig,
+    energy_without_pl_kernel,
+    pl_power_kernel,
+    ps_energy_with_pl_kernel,
+)
+from ..fpga.resources import (
+    ResourceModelConfig,
+    dsp_count_kernel,
+    ff_count_kernel,
+    lut_count_kernel,
+)
+from ..fpga.device import PYNQ_Z2
+from ..fpga.timing import TimingModel
+from ..hwsw.ps_model import work_time_kernel
+from ..ode.solvers import get_solver
+from .result import Result, _flatten_value
+from .scenario import BOARDS, Scenario
+
+__all__ = ["BatchResult", "sweep_batch", "pareto_indices"]
+
+
+# -- column schema -----------------------------------------------------------------------
+#
+# Flat column order matches Result.flat_dict() exactly: scenario knobs first,
+# then each section's keys in section order, duplicates ("model", "N")
+# emitted once.
+
+SCENARIO_KEYS: Tuple[str, ...] = (
+    "model", "depth", "n_units", "word_length", "fraction_bits", "solver", "board", "pl_clock_hz",
+)
+PARAMETER_KEYS: Tuple[str, ...] = (
+    "variant", "qformat", "param_count", "param_bytes", "accuracy_pct", "accuracy_stable",
+)
+RESOURCE_KEYS: Tuple[str, ...] = (
+    "bram", "dsp", "lut", "ff", "bram_pct", "dsp_pct", "lut_pct", "ff_pct",
+    "targets", "fits_device", "meets_timing",
+)
+TIMING_KEYS: Tuple[str, ...] = (
+    "offload_target", "total_wo_pl_s", "target_wo_pl_s", "ratio_of_target_pct",
+    "target_w_pl_s", "total_w_pl_s", "overall_speedup", "speedup_vs_resnet", "solver_stages",
+)
+ENERGY_KEYS: Tuple[str, ...] = (
+    "energy_without_pl_J", "energy_with_pl_J", "energy_ratio", "time_speedup",
+)
+TRAINING_KEYS: Tuple[str, ...] = (
+    "offload", "train_step_sw_s", "train_step_offloaded_s", "target_share_pct",
+    "step_speedup", "epoch_hours_software", "epoch_hours_offloaded",
+    "full_run_days_software", "full_run_days_offloaded",
+)
+
+FLAT_COLUMNS: Tuple[str, ...] = (
+    SCENARIO_KEYS + PARAMETER_KEYS + RESOURCE_KEYS + TIMING_KEYS + ENERGY_KEYS + TRAINING_KEYS
+)
+
+#: Columns whose cells are per-target lists (joined with " / " in flat views).
+LIST_COLUMNS: Tuple[str, ...] = (
+    "targets", "target_wo_pl_s", "ratio_of_target_pct", "target_w_pl_s",
+)
+
+
+#: Section each flat (non-scenario) column lives in, for nested-dict I/O.
+_SECTION_OF: Dict[str, str] = {}
+for _section, _keys in (
+    ("parameters", PARAMETER_KEYS),
+    ("resources", RESOURCE_KEYS),
+    ("timing", TIMING_KEYS),
+    ("energy", ENERGY_KEYS),
+    ("training", TRAINING_KEYS),
+):
+    for _key in _keys:
+        _SECTION_OF[_key] = _section
+
+
+def _py(value):
+    """NumPy scalar -> native Python scalar (no-op for everything else)."""
+
+    return value.item() if isinstance(value, np.generic) else value
+
+
+# -- per-unique-key facts ----------------------------------------------------------------
+
+
+class _BatchContext:
+    """Scalar per-layer constants plus caches over the few unique sweep keys.
+
+    Everything here reproduces what one default :class:`Evaluator` would
+    derive: the shared software model, the paper's AXI transfer assumption,
+    the default cycle/resource/power/training calibration constants.
+    """
+
+    def __init__(self) -> None:
+        self.execution_model = ExecutionTimeModel()
+        self.planner = OffloadPlanner(execution_model=self.execution_model)
+        self.timing_model = TimingModel()
+        self.resource_config = ResourceModelConfig()
+        self.power_config = PowerModelConfig()
+        self.training_config = TrainingCostConfig()
+        ps = self.execution_model.software_model
+        self.ps_config = ps.config
+        self.cycle_config = self.execution_model.cycle_model.config
+        self.overhead = ps.per_image_overhead()
+        self.software_seconds = {
+            layer: self.execution_model.software_layer_seconds(layer) for layer in LAYER_ORDER
+        }
+        self.geometries = {
+            layer: layer_geometry(layer).fpga_geometry() for layer in OFFLOADABLE_LAYER_NAMES
+        }
+        self.transfer_seconds = {
+            layer: self.execution_model.transfer_model.block_round_trip(geom).seconds
+            for layer, geom in self.geometries.items()
+        }
+        self._variant_cache: Dict[Tuple[str, int], dict] = {}
+        self._baseline_cache: Dict[int, float] = {}
+        self._timing_cache: Dict[Tuple[int, float], bool] = {}
+        self._bram_cache: Dict[Tuple[str, int, int], int] = {}
+
+    def variant_facts(self, model: str, depth: int) -> dict:
+        key = (model, depth)
+        try:
+            return self._variant_cache[key]
+        except KeyError:
+            pass
+        variant = "ODENet" if model == "ODENet-3" else model
+        spec = variant_spec(variant, depth)
+        targets = tuple(self.planner.proposed_targets(model, depth))
+        train_targets = tuple(PAPER_OFFLOAD_TARGETS.get(model, ()))
+        try:
+            point = accuracy_model(variant, depth)
+            accuracy = (point.accuracy_percent, point.stable)
+        except KeyError:
+            accuracy = (None, None)
+        facts = {
+            "variant": variant,
+            "targets": targets,
+            "train_targets": train_targets,
+            "offload_target_str": "/".join(targets) or "-",
+            "train_offload_str": "/".join(train_targets) or "-",
+            "exec0": tuple(spec.plan(layer).total_executions for layer in LAYER_ORDER),
+            "ode": tuple(
+                spec.plan(layer).realization == BlockRealization.ODEBLOCK for layer in LAYER_ORDER
+            ),
+            "param_count": variant_parameter_count(variant, depth),
+            "accuracy": accuracy,
+            "baseline": self.resnet_baseline(depth),
+        }
+        return self._variant_cache.setdefault(key, facts)
+
+    def resnet_baseline(self, depth: int) -> float:
+        """Software ResNet-N total (board-independent: the PL is never used)."""
+
+        try:
+            return self._baseline_cache[depth]
+        except KeyError:
+            report = self.execution_model.report(
+                "ResNet", depth, offload_targets=(), solver_stages=1
+            )
+            return self._baseline_cache.setdefault(depth, report.total_without_pl)
+
+    def meets_timing(self, n_units: int, clock_hz: float) -> bool:
+        key = (n_units, clock_hz)
+        try:
+            return self._timing_cache[key]
+        except KeyError:
+            ok = self.timing_model.analyze(n_units, target_hz=clock_hz).meets_timing
+            return self._timing_cache.setdefault(key, ok)
+
+    def bram_tiles(self, layer: str, word_length: int, fraction_bits: int, n_units: int) -> int:
+        key = (layer, word_length, fraction_bits, n_units)
+        try:
+            return self._bram_cache[key]
+        except KeyError:
+            plan = plan_block_allocation(
+                self.geometries[layer],
+                n_units=n_units,
+                qformat=QFormat(word_length, fraction_bits),
+            )
+            return self._bram_cache.setdefault(key, plan.total_tiles)
+
+
+_CONTEXT: Optional[_BatchContext] = None
+
+
+def _context() -> _BatchContext:
+    global _CONTEXT
+    if _CONTEXT is None:
+        _CONTEXT = _BatchContext()
+    return _CONTEXT
+
+
+def clear_context_cache() -> None:
+    """Drop the shared per-unique-key caches (cold-start benchmarking, or to
+    bound memory in a long-lived process sweeping many distinct keys)."""
+
+    global _CONTEXT
+    _CONTEXT = None
+
+
+def _codes(keys: Sequence) -> Tuple[np.ndarray, List]:
+    """Factorize a sequence of hashables into integer codes + unique values."""
+
+    index: Dict = {}
+    uniques: List = []
+    codes = np.empty(len(keys), dtype=np.intp)
+    for i, key in enumerate(keys):
+        code = index.get(key)
+        if code is None:
+            code = len(uniques)
+            index[key] = code
+            uniques.append(key)
+        codes[i] = code
+    return codes, uniques
+
+
+# -- the vector computation --------------------------------------------------------------
+
+
+def _compute_columns(scenarios: Sequence[Scenario]) -> Dict[str, object]:
+    """Evaluate every scenario; returns the full flat column dictionary."""
+
+    ctx = _context()
+    n = len(scenarios)
+
+    units = np.array([s.n_units for s in scenarios], dtype=np.int64)
+    clock = np.array([s.pl_clock_hz for s in scenarios], dtype=np.float64)
+
+    md_codes, md_keys = _codes([(s.model, s.depth) for s in scenarios])
+    facts = [ctx.variant_facts(m, d) for m, d in md_keys]
+    sv_codes, sv_keys = _codes([s.solver for s in scenarios])
+    stages = np.array([get_solver(k).stages_per_step for k in sv_keys], dtype=np.int64)[sv_codes]
+    qf_codes, qf_keys = _codes([(s.word_length, s.fraction_bits) for s in scenarios])
+    qn_codes, qn_keys = _codes([(s.word_length, s.fraction_bits, s.n_units) for s in scenarios])
+    hw_codes, hw_keys = _codes([(s.n_units, s.pl_clock_hz) for s in scenarios])
+    bd_codes, bd_keys = _codes([s.board for s in scenarios])
+
+    def broadcast(values, dtype=None) -> np.ndarray:
+        """Per-unique (model, depth) values -> a per-scenario column."""
+
+        return np.asarray(values, dtype=dtype)[md_codes]
+
+    exec0_table = np.array([f["exec0"] for f in facts], dtype=np.int64)
+    ode_table = np.array([f["ode"] for f in facts], dtype=bool)
+    target_table = np.array(
+        [[layer in f["targets"] for layer in LAYER_ORDER] for f in facts], dtype=bool
+    )
+    train_target_table = np.array(
+        [[layer in f["train_targets"] for layer in LAYER_ORDER] for f in facts], dtype=bool
+    )
+
+    # -- per-layer time columns (the Table-5 row, vectorized) ---------------------------
+    rc = ctx.resource_config
+    exec0_cols: Dict[str, np.ndarray] = {}
+    sw_cols: Dict[str, np.ndarray] = {}
+    acc_cols: Dict[str, np.ndarray] = {}
+    pl_cols: Dict[str, np.ndarray] = {}
+    offl_cols: Dict[str, np.ndarray] = {}
+    total_wo = np.zeros(n, dtype=np.float64)
+    total_w = np.zeros(n, dtype=np.float64)
+    for i, layer in enumerate(LAYER_ORDER):
+        exec0_col = exec0_table[md_codes, i]
+        execs = exec0_col * np.where(ode_table[md_codes, i], stages, 1)
+        sw_col = execs * ctx.software_seconds[layer]
+        if layer in OFFLOADABLE_LAYER_NAMES:
+            offl = target_table[md_codes, i]
+            pl_per_exec = pl_layer_seconds_kernel(
+                ctx.geometries[layer], units, clock, ctx.cycle_config, ctx.transfer_seconds[layer]
+            )
+            acc_col = np.where(offl, execs * pl_per_exec, sw_col)
+            pl_cols[layer] = pl_per_exec
+            offl_cols[layer] = offl
+        else:
+            acc_col = sw_col
+        exec0_cols[layer] = exec0_col
+        sw_cols[layer] = sw_col
+        acc_cols[layer] = acc_col
+        total_wo = total_wo + sw_col
+        total_w = total_w + acc_col
+    total_wo = total_wo + ctx.overhead
+    total_w = total_w + ctx.overhead
+
+    has_targets = target_table[md_codes].any(axis=1)
+    overall_speedup = np.where(has_targets, total_wo / total_w, 1.0)
+    speedup_vs_resnet = broadcast([f["baseline"] for f in facts], np.float64) / total_w
+
+    # -- resources ---------------------------------------------------------------------
+    dsp_per_layer = dsp_count_kernel(units, rc.dsp_base, rc.dsp_per_unit)
+    res = {k: np.zeros(n, dtype=np.float64) for k in ("bram", "dsp", "lut", "ff")}
+    bram_table = np.array(
+        [
+            [ctx.bram_tiles(layer, wl, fb, nu) for layer in OFFLOADABLE_LAYER_NAMES]
+            for wl, fb, nu in qn_keys
+        ],
+        dtype=np.int64,
+    )
+    for i, layer in enumerate(OFFLOADABLE_LAYER_NAMES):
+        offl = offl_cols[layer]
+        geom = ctx.geometries[layer]
+        res["bram"] = res["bram"] + np.where(offl, bram_table[qn_codes, i], 0.0)
+        res["dsp"] = res["dsp"] + np.where(offl, dsp_per_layer, 0.0)
+        res["lut"] = res["lut"] + np.where(
+            offl,
+            lut_count_kernel(units, geom.out_channels, rc.lut_base, rc.lut_per_unit, rc.lut_per_unit_per_channel),
+            0.0,
+        )
+        res["ff"] = res["ff"] + np.where(
+            offl,
+            ff_count_kernel(units, geom.out_channels, rc.ff_base, rc.ff_per_unit, rc.ff_per_unit_per_channel),
+            0.0,
+        )
+    devices = [BOARDS[name].fpga for name in bd_keys]
+    totals = {
+        "bram": np.array([d.bram36 for d in devices], dtype=np.float64)[bd_codes],
+        "dsp": np.array([d.dsp for d in devices], dtype=np.float64)[bd_codes],
+        "lut": np.array([d.lut for d in devices], dtype=np.float64)[bd_codes],
+        "ff": np.array([d.ff for d in devices], dtype=np.float64)[bd_codes],
+    }
+    pct = {k: 100.0 * res[k] / totals[k] for k in res}
+    fits = (
+        (res["bram"] <= totals["bram"])
+        & (res["dsp"] <= totals["dsp"])
+        & (res["lut"] <= totals["lut"])
+        & (res["ff"] <= totals["ff"])
+    )
+    meets = np.array([ctx.meets_timing(u, c) for u, c in hw_keys], dtype=bool)[hw_codes]
+
+    # -- energy ------------------------------------------------------------------------
+    pl_busy = np.zeros(n, dtype=np.float64)
+    for layer in OFFLOADABLE_LAYER_NAMES:
+        pl_busy = pl_busy + np.where(offl_cols[layer], acc_cols[layer], 0.0)
+    energy_without = energy_without_pl_kernel(total_wo, ctx.power_config) + 0.0
+    ps_energy = ps_energy_with_pl_kernel(total_w, pl_busy, ctx.power_config)
+    pl_energy = pl_power_kernel(res["dsp"], res["bram"], ctx.power_config) * total_w
+    energy_with = ps_energy + pl_energy
+    energy_ratio = np.where(energy_with != 0.0, energy_without / energy_with, np.inf)
+
+    # -- training (the future-work projection) -----------------------------------------
+    tc = ctx.training_config
+    factor = 1.0 + tc.backward_mac_factor
+    train_sw = np.full(n, ctx.overhead, dtype=np.float64)
+    train_off = np.full(n, ctx.overhead, dtype=np.float64)
+    target_sw = np.zeros(n, dtype=np.float64)
+    for i, layer in enumerate(LAYER_ORDER):
+        sw_train = exec0_cols[layer] * (ctx.software_seconds[layer] * factor)
+        train_sw = train_sw + sw_train
+        if layer in OFFLOADABLE_LAYER_NAMES:
+            train_offl = train_target_table[md_codes, i]
+            pl_train = exec0_cols[layer] * (pl_cols[layer] * factor)
+            train_off = train_off + np.where(train_offl, pl_train, sw_train)
+            target_sw = target_sw + np.where(train_offl, sw_train, 0.0)
+        else:
+            train_off = train_off + sw_train
+    param_count = broadcast([f["param_count"] for f in facts], np.int64)
+    ps_cfg = ctx.ps_config
+    update = work_time_kernel(
+        0.0, param_count, tc.optimizer_passes,
+        ps_cfg.cycles_per_mac, ps_cfg.cycles_per_element, ps_cfg.clock_hz,
+    )
+    train_sw = train_sw + update
+    train_off = train_off + update
+    target_share = 100.0 * target_sw / train_sw
+    step_speedup = train_sw / train_off
+    images = tc.images_per_epoch
+    epoch_sw = train_sw * images
+    epoch_off = train_off * images
+    epoch_hours_sw = epoch_sw / 3600.0
+    epoch_hours_off = epoch_off / 3600.0
+    full_days_sw = epoch_sw * tc.epochs / 3600.0 / 24.0
+    full_days_off = epoch_off * tc.epochs / 3600.0 / 24.0
+
+    # -- parameters --------------------------------------------------------------------
+    bpv = np.array([QFormat(wl, fb).bytes_per_value for wl, fb in qf_keys], dtype=np.int64)[qf_codes]
+    qnames = [QFormat(wl, fb).name for wl, fb in qf_keys]
+    param_bytes = param_count * bpv
+
+    # -- per-target list columns -------------------------------------------------------
+    targets_lists: List[List[str]] = [None] * n  # type: ignore[list-item]
+    t_wo: List[List[float]] = [None] * n  # type: ignore[list-item]
+    t_ratio: List[List[float]] = [None] * n  # type: ignore[list-item]
+    t_w: List[List[float]] = [None] * n  # type: ignore[list-item]
+    ratio_cols = {
+        layer: 100.0 * sw_cols[layer] / total_wo for layer in OFFLOADABLE_LAYER_NAMES
+    }
+    for code, fact in enumerate(facts):
+        rows = np.nonzero(md_codes == code)[0]
+        layers = fact["targets"]
+        for i in rows:
+            targets_lists[i] = list(layers)
+            t_wo[i] = [float(sw_cols[l][i]) for l in layers]
+            t_ratio[i] = [float(ratio_cols[l][i]) for l in layers]
+            t_w[i] = [float(acc_cols[l][i]) for l in layers]
+
+    return {
+        # scenario knobs
+        "model": [s.model for s in scenarios],
+        "depth": [s.depth for s in scenarios],
+        "n_units": units,
+        "word_length": [s.word_length for s in scenarios],
+        "fraction_bits": [s.fraction_bits for s in scenarios],
+        "solver": [s.solver for s in scenarios],
+        "board": [s.board for s in scenarios],
+        "pl_clock_hz": clock,
+        # parameters
+        "variant": [facts[c]["variant"] for c in md_codes],
+        "qformat": [qnames[c] for c in qf_codes],
+        "param_count": param_count,
+        "param_bytes": param_bytes,
+        "accuracy_pct": [facts[c]["accuracy"][0] for c in md_codes],
+        "accuracy_stable": [facts[c]["accuracy"][1] for c in md_codes],
+        # resources
+        "bram": res["bram"],
+        "dsp": res["dsp"],
+        "lut": res["lut"],
+        "ff": res["ff"],
+        "bram_pct": pct["bram"],
+        "dsp_pct": pct["dsp"],
+        "lut_pct": pct["lut"],
+        "ff_pct": pct["ff"],
+        "targets": targets_lists,
+        "fits_device": fits,
+        "meets_timing": meets,
+        # timing
+        "offload_target": [facts[c]["offload_target_str"] for c in md_codes],
+        "total_wo_pl_s": total_wo,
+        "target_wo_pl_s": t_wo,
+        "ratio_of_target_pct": t_ratio,
+        "target_w_pl_s": t_w,
+        "total_w_pl_s": total_w,
+        "overall_speedup": overall_speedup,
+        "speedup_vs_resnet": speedup_vs_resnet,
+        "solver_stages": stages,
+        # energy
+        "energy_without_pl_J": energy_without,
+        "energy_with_pl_J": energy_with,
+        "energy_ratio": energy_ratio,
+        "time_speedup": overall_speedup,
+        # training
+        "offload": [facts[c]["train_offload_str"] for c in md_codes],
+        "train_step_sw_s": train_sw,
+        "train_step_offloaded_s": train_off,
+        "target_share_pct": target_share,
+        "step_speedup": step_speedup,
+        "epoch_hours_software": epoch_hours_sw,
+        "epoch_hours_offloaded": epoch_hours_off,
+        "full_run_days_software": full_days_sw,
+        "full_run_days_offloaded": full_days_off,
+    }
+
+
+# -- BatchResult -------------------------------------------------------------------------
+
+
+class BatchResult:
+    """Columnar result table of a batch-evaluated design-space sweep.
+
+    One row per scenario, in input order.  Columns follow the flat schema of
+    :meth:`repro.api.result.Result.flat_dict`; per-target cells
+    (``targets``, ``target_wo_pl_s``, ...) are Python lists and are joined
+    with ``" / "`` in the flat/CSV views, exactly like the loop engine.
+    """
+
+    __slots__ = ("scenarios", "_columns")
+
+    def __init__(self, scenarios: Sequence[Scenario], columns: Dict[str, object]) -> None:
+        self.scenarios: List[Scenario] = list(scenarios)
+        missing = [k for k in FLAT_COLUMNS if k not in columns]
+        if missing:
+            raise ValueError(f"missing batch columns: {missing}")
+        self._columns = columns
+
+    # -- construction ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, scenarios: Sequence[Scenario], rows: Sequence[Dict]) -> "BatchResult":
+        """Assemble a table from nested per-scenario result dictionaries.
+
+        Accepts exactly the :meth:`repro.api.result.Result.as_dict` /
+        :meth:`row_dict` structure — the interchange format shared with the
+        loop engine, the process-pool fallback and the on-disk cache.
+        """
+
+        scenarios = list(scenarios)
+        rows = list(rows)
+        if len(rows) != len(scenarios):
+            raise ValueError(f"got {len(rows)} rows for {len(scenarios)} scenarios")
+        columns: Dict[str, List] = {key: [] for key in FLAT_COLUMNS}
+        for row in rows:
+            scenario = row["scenario"]
+            for key in SCENARIO_KEYS:
+                columns[key].append(scenario[key])
+            for key, section in _SECTION_OF.items():
+                value = row[section][key]
+                columns[key].append(list(value) if key in LIST_COLUMNS else value)
+        return cls(list(scenarios), columns)
+
+    # -- basic views --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return FLAT_COLUMNS
+
+    def column(self, name: str) -> np.ndarray:
+        """One column as a NumPy array (object-dtype for list/str columns)."""
+
+        try:
+            col = self._columns[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown column '{name}'; known: {FLAT_COLUMNS}") from exc
+        if name in LIST_COLUMNS:
+            out = np.empty(len(self), dtype=object)
+            out[:] = col
+            return out
+        return np.asarray(col)
+
+    def record(self, i: int) -> Dict[str, object]:
+        """Row ``i`` as a flat dictionary (list cells joined, CSV-shaped)."""
+
+        row: Dict[str, object] = {}
+        for key in FLAT_COLUMNS:
+            value = _py(self._columns[key][i])
+            row[key] = _flatten_value(value) if key in LIST_COLUMNS else value
+        return row
+
+    def records(self) -> List[Dict[str, object]]:
+        """Flat one-row-per-scenario dictionaries (table/CSV shaped)."""
+
+        return [self.record(i) for i in range(len(self))]
+
+    # -- nested views -------------------------------------------------------------------
+
+    def _sections(self, i: int) -> Dict[str, Dict[str, object]]:
+        c = self._columns
+        scenario = self.scenarios[i]
+
+        def grab(keys: Tuple[str, ...]) -> Dict[str, object]:
+            out: Dict[str, object] = {}
+            for key in keys:
+                value = _py(c[key][i])
+                out[key] = list(value) if key in LIST_COLUMNS else value
+            return out
+
+        timing = {"model": scenario.model, "N": scenario.depth}
+        timing.update(grab(TIMING_KEYS))
+        energy = {"model": scenario.model, "N": scenario.depth}
+        energy.update(grab(ENERGY_KEYS))
+        training = {"model": scenario.model, "N": scenario.depth}
+        training.update(grab(TRAINING_KEYS))
+        return {
+            "parameters": grab(PARAMETER_KEYS),
+            "resources": grab(RESOURCE_KEYS),
+            "timing": timing,
+            "energy": energy,
+            "training": training,
+        }
+
+    def row_dict(self, i: int) -> Dict[str, object]:
+        """Row ``i`` as the nested dictionary :meth:`Result.as_dict` emits."""
+
+        out: Dict[str, object] = {"scenario": self.scenarios[i].as_dict()}
+        out.update(self._sections(i))
+        return out
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [self.row_dict(i) for i in range(len(self))]
+
+    def to_results(self) -> List[Result]:
+        """Reconstruct the full per-scenario :class:`Result` objects.
+
+        Field-for-field identical to what the loop engine returns for the
+        same scenarios (the regression net for the vectorization refactor).
+        """
+
+        return [
+            Result(scenario=self.scenarios[i], **self._sections(i)) for i in range(len(self))
+        ]
+
+    # -- serialisation ------------------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """CSV document (header + one row per scenario, loop-engine layout)."""
+
+        if not len(self):
+            return ""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(list(FLAT_COLUMNS))
+        for i in range(len(self)):
+            writer.writerow(list(self.record(i).values()))
+        return buf.getvalue().rstrip("\n")
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON array of nested result dictionaries (loop-engine layout)."""
+
+        return json.dumps(self.as_dicts(), indent=indent)
+
+    # -- selection ----------------------------------------------------------------------
+
+    def take(self, indices: Sequence[int]) -> "BatchResult":
+        """A new table holding the given rows (in the given order)."""
+
+        idx = [int(i) for i in indices]
+        columns: Dict[str, object] = {}
+        for key, col in self._columns.items():
+            if isinstance(col, np.ndarray):
+                columns[key] = col[idx]
+            else:
+                columns[key] = [col[i] for i in idx]
+        return BatchResult([self.scenarios[i] for i in idx], columns)
+
+    def pareto_front(
+        self,
+        x: str,
+        y: str,
+        maximize_x: bool = False,
+        maximize_y: bool = False,
+    ) -> "BatchResult":
+        """Rows not dominated on metrics ``x`` and ``y`` (sorted by ``x``).
+
+        Both metrics are minimized by default; pass ``maximize_*`` to flip a
+        direction (e.g. ``pareto_front("bram", "overall_speedup",
+        maximize_y=True)`` for the resource/speed trade-off).  Duplicate
+        points are kept once.
+        """
+
+        idx = pareto_indices(
+            self.column(x), self.column(y), maximize_x=maximize_x, maximize_y=maximize_y
+        )
+        return self.take(idx)
+
+
+def pareto_indices(xs, ys, maximize_x: bool = False, maximize_y: bool = False) -> np.ndarray:
+    """Indices of the 2-D Pareto front, sorted by the x metric.
+
+    A point is kept when no other point is at least as good on both metrics
+    and strictly better on one.  Exact duplicates are represented once.
+    """
+
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("pareto metrics must have the same length")
+    sx = -x if maximize_x else x
+    sy = -y if maximize_y else y
+    order = np.lexsort((sy, sx))
+    keep: List[int] = []
+    best = np.inf
+    for i in order:
+        if sy[i] < best:
+            keep.append(int(i))
+            best = sy[i]
+    return np.asarray(keep, dtype=np.intp)
+
+
+# -- engine entry point ------------------------------------------------------------------
+
+
+def _vectorizable(scenario: Scenario) -> bool:
+    """Whether the vector path can evaluate a scenario.
+
+    The kernels reproduce exactly the behaviour of :class:`Scenario` proper,
+    so subclasses (which may override derived properties the vector path
+    would not see) take the loop-engine fallback.  So does any board other
+    than the paper's PYNQ-Z2: the shared :class:`_BatchContext` derives its
+    per-layer constants once from the default board, which is provably
+    equivalent today but would silently go stale if :data:`BOARDS` grew an
+    entry whose models differ.
+    """
+
+    return type(scenario) is Scenario and scenario.board == PYNQ_Z2.name
+
+
+def _evaluate_rows(scenarios: Sequence[Scenario]) -> List[Dict]:
+    """Loop-engine evaluation of a chunk (runs inside a pool worker)."""
+
+    from .evaluator import Evaluator
+
+    evaluator = Evaluator()
+    return [evaluator.evaluate(s).as_dict() for s in scenarios]
+
+
+def sweep_batch(
+    scenarios: Iterable[Scenario],
+    cache=None,
+    fallback_workers: Optional[int] = None,
+    vectorizable: Callable[[Scenario], bool] = _vectorizable,
+) -> BatchResult:
+    """Evaluate scenarios with the vectorized engine; rows in input order.
+
+    Parameters
+    ----------
+    scenarios:
+        The design points to evaluate (any iterable of scenarios).
+    cache:
+        Optional :class:`repro.api.cache.ResultCache`.  Rows found in the
+        cache are not recomputed; freshly computed rows are stored, so
+        repeated/overlapping sweeps are incremental.
+    fallback_workers:
+        Process-pool width for scenarios the vector path cannot handle
+        (default: ``os.cpu_count()``).  The fallback evaluates with the loop
+        engine, so results are identical either way.
+    vectorizable:
+        Predicate selecting the vector path (exposed for testing).
+    """
+
+    points = list(scenarios)
+    n = len(points)
+    if n == 0:
+        return BatchResult([], {key: [] for key in FLAT_COLUMNS})
+
+    rows: List[Optional[Dict]] = [None] * n
+    if cache is not None:
+        for i, scenario in enumerate(points):
+            rows[i] = cache.get(scenario)
+    pending = [i for i in range(n) if rows[i] is None]
+    vector_idx = [i for i in pending if vectorizable(points[i])]
+    fallback_idx = [i for i in pending if not vectorizable(points[i])]
+
+    fresh: Optional[BatchResult] = None
+    if vector_idx:
+        fresh = BatchResult(
+            [points[i] for i in vector_idx],
+            _compute_columns([points[i] for i in vector_idx]),
+        )
+        # Fast path: everything came straight from the vector engine.
+        if cache is None and len(vector_idx) == n:
+            return fresh
+    if fallback_idx:
+        fallback_points = [points[i] for i in fallback_idx]
+        try:
+            # Scenarios defined in __main__ / a notebook cannot cross a
+            # process boundary (the class is pickled by reference and a
+            # spawned worker cannot resolve it); detect that up front and
+            # evaluate in-process instead of crashing the sweep.
+            portable = type(fallback_points[0]).__module__ != "__main__"
+            if portable:
+                pickle.loads(pickle.dumps(fallback_points[0]))
+        except Exception:
+            portable = False
+        if portable:
+            chunk = 32
+            groups = [fallback_idx[k : k + chunk] for k in range(0, len(fallback_idx), chunk)]
+            with ProcessPoolExecutor(max_workers=fallback_workers) as pool:
+                for group, result in zip(
+                    groups, pool.map(_evaluate_rows, [[points[i] for i in g] for g in groups])
+                ):
+                    for i, row in zip(group, result):
+                        rows[i] = row
+        else:
+            for i, row in zip(fallback_idx, _evaluate_rows(fallback_points)):
+                rows[i] = row
+    if cache is not None:
+        for j, i in enumerate(vector_idx):
+            cache.put(points[i], fresh.row_dict(j))
+        for i in fallback_idx:
+            cache.put(points[i], rows[i])
+
+    # Merge: splice the vector engine's columns with the cached/fallback rows
+    # (kept columnar — no per-row rebuild of the freshly computed part).
+    columns: Dict[str, List] = {}
+    row_idx = [i for i in range(n) if rows[i] is not None]
+    for key in FLAT_COLUMNS:
+        col: List = [None] * n
+        if fresh is not None:
+            fcol = fresh._columns[key]
+            for j, i in enumerate(vector_idx):
+                col[i] = fcol[j]
+        if key in SCENARIO_KEYS:
+            for i in row_idx:
+                col[i] = rows[i]["scenario"][key]
+        else:
+            section = _SECTION_OF[key]
+            if key in LIST_COLUMNS:
+                for i in row_idx:
+                    col[i] = list(rows[i][section][key])
+            else:
+                for i in row_idx:
+                    col[i] = rows[i][section][key]
+        columns[key] = col
+    return BatchResult(points, columns)

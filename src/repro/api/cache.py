@@ -1,0 +1,133 @@
+"""Persistent on-disk result cache keyed by scenario hash.
+
+:class:`ResultCache` stores one JSON document per evaluated scenario — the
+nested :meth:`repro.api.result.Result.as_dict` structure — under a key
+derived from the scenario's knobs, so repeated or overlapping design-space
+sweeps only pay for the scenarios they have not seen before
+(:func:`repro.api.batch.sweep_batch` consults the cache before evaluating
+and stores whatever it computes).
+
+The key is a SHA-256 over the canonical JSON of ``scenario.as_dict()`` plus
+a cache-format version.  Bump :data:`CACHE_VERSION` whenever the analytic
+models change in a way that alters results; old entries then simply miss.
+Unreadable or truncated entries are treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from .batch import (
+    ENERGY_KEYS,
+    PARAMETER_KEYS,
+    RESOURCE_KEYS,
+    SCENARIO_KEYS,
+    TIMING_KEYS,
+    TRAINING_KEYS,
+)
+from .scenario import Scenario
+
+#: Every key a stored payload must carry, per section.  Entries written by an
+#: older schema (e.g. before a metric column was added) fail this check and
+#: count as misses, so forgetting a :data:`CACHE_VERSION` bump degrades to a
+#: recompute instead of a crash downstream.
+_REQUIRED_KEYS = {
+    "scenario": SCENARIO_KEYS,
+    "parameters": PARAMETER_KEYS,
+    "resources": RESOURCE_KEYS,
+    "timing": TIMING_KEYS,
+    "energy": ENERGY_KEYS,
+    "training": TRAINING_KEYS,
+}
+
+__all__ = ["ResultCache", "scenario_key", "CACHE_VERSION"]
+
+#: Version tag mixed into every key; bump on model-changing releases.
+CACHE_VERSION = "1"
+
+
+def scenario_key(scenario: Scenario, version: str = CACHE_VERSION) -> str:
+    """Stable hash of a scenario's knobs (hex SHA-256).
+
+    The scenario's concrete type is part of the key: a :class:`Scenario`
+    subclass may override derived behaviour (that is why the batch engine
+    routes subclasses through the loop-engine fallback), so its results must
+    never collide with a plain scenario that has the same knobs.
+    """
+
+    canonical = json.dumps(scenario.as_dict(), sort_keys=True, separators=(",", ":"))
+    kind = f"{type(scenario).__module__}.{type(scenario).__qualname__}"
+    digest = hashlib.sha256(f"v{version}:{kind}:{canonical}".encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """A directory of per-scenario JSON result documents.
+
+    Entries are sharded by the first two hex digits of the key
+    (``<root>/ab/abcdef....json``) to keep directory listings manageable for
+    very large sweeps.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, scenario: Scenario) -> Optional[Dict]:
+        """The cached nested result dictionary, or ``None`` on a miss.
+
+        Corrupt, unreadable or schema-stale entries count as misses (the
+        caller recomputes and overwrites them), never as errors.
+        """
+
+        path = self._path(scenario_key(scenario))
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        for section, keys in _REQUIRED_KEYS.items():
+            entry = payload.get(section)
+            if not isinstance(entry, dict) or any(key not in entry for key in keys):
+                return None
+        return payload
+
+    def put(self, scenario: Scenario, payload: Dict) -> None:
+        """Store a nested result dictionary for a scenario (atomic replace).
+
+        The temp file gets a unique name so concurrent sweeps sharing one
+        cache directory never interleave writes; last rename wins.
+        """
+
+        path = self._path(scenario_key(scenario))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.stem, suffix=".tmp", dir=path.parent
+        )
+        try:
+            with open(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            Path(tmp_name).replace(path)
+        except BaseException:
+            Path(tmp_name).unlink(missing_ok=True)
+            raise
+
+    def __len__(self) -> int:
+        """Number of stored entries (walks the cache directory)."""
+
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> None:
+        """Delete every stored entry (the directory itself is kept)."""
+
+        for path in self.root.glob("*/*.json"):
+            path.unlink()

@@ -27,7 +27,29 @@ from .evaluator import Evaluator
 from .result import Result
 from .scenario import Scenario
 
-__all__ = ["sweep", "results_to_csv", "results_to_json", "results_to_records"]
+__all__ = ["sweep", "SweepError", "results_to_csv", "results_to_json", "results_to_records"]
+
+
+class SweepError(RuntimeError):
+    """A scenario evaluation failed inside a sweep.
+
+    Worker-pool tracebacks lose the loop context, so the error message names
+    the failing scenario explicitly; the original exception is chained as
+    ``__cause__`` and the design point is available as :attr:`scenario`.
+    """
+
+    def __init__(self, scenario: Scenario, cause: BaseException) -> None:
+        super().__init__(
+            f"evaluation failed for scenario {scenario.full_name} "
+            f"({scenario.as_dict()}): {cause!r}"
+        )
+        self.scenario = scenario
+        self.cause = cause
+
+    def __reduce__(self):
+        # BaseException pickling replays args into __init__; ours are
+        # (scenario, cause), not the formatted message.
+        return (SweepError, (self.scenario, self.cause))
 
 
 def sweep(
@@ -53,10 +75,17 @@ def sweep(
         raise ValueError("workers must be a positive integer")
     ev = evaluator if evaluator is not None else Evaluator()
     points = list(scenarios)
+
+    def evaluate(scenario: Scenario) -> Result:
+        try:
+            return ev.evaluate(scenario)
+        except Exception as exc:
+            raise SweepError(scenario, exc) from exc
+
     if workers == 1 or len(points) <= 1:
-        return [ev.evaluate(s) for s in points]
+        return [evaluate(s) for s in points]
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(ev.evaluate, points))
+        return list(pool.map(evaluate, points))
 
 
 def results_to_records(results: Sequence[Result]) -> List[dict]:

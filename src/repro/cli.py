@@ -43,13 +43,13 @@ from .analysis import format_records, format_series
 from .api import (
     SCENARIO_MODELS,
     TRAINING_PROJECTION_KEYS,
+    BatchResult,
     Evaluator,
+    ResultCache,
     Scenario,
     fraction_bits_for,
-    results_to_csv,
-    results_to_json,
-    results_to_records,
     scenario_grid,
+    sweep_batch,
 )
 from .api import sweep as run_sweep
 from .core import SUPPORTED_DEPTHS
@@ -273,8 +273,33 @@ def _configure_sweep(p: argparse.ArgumentParser) -> None:
         "(default: the conventional Q-format per word length)",
     )
     p.add_argument("--solvers", nargs="*", choices=available_methods(), default=["euler"])
-    p.add_argument("--workers", type=int, default=1, help="thread-pool width for the sweep")
-    p.add_argument("--format", choices=("table", "csv", "json"), default="table")
+    p.add_argument("--workers", type=int, default=1, help="thread-pool width for the loop engine")
+    p.add_argument(
+        "--engine",
+        choices=("loop", "batch"),
+        default="loop",
+        help="per-scenario loop engine (default) or the vectorized batch engine "
+        "(identical results, much faster on large grids)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result-cache directory (batch engine): repeated sweeps "
+        "only evaluate scenarios not seen before",
+    )
+    p.add_argument("--format", choices=("table", "csv", "json", "pareto"), default="table")
+    p.add_argument(
+        "--pareto-x",
+        default="total_w_pl_s",
+        help="x metric of the Pareto front (--format pareto; default: total_w_pl_s)",
+    )
+    p.add_argument(
+        "--pareto-y",
+        default="energy_with_pl_J",
+        help="y metric of the Pareto front (--format pareto; default: energy_with_pl_J)",
+    )
+    p.add_argument("--maximize-x", action="store_true", help="maximize (not minimize) the x metric")
+    p.add_argument("--maximize-y", action="store_true", help="maximize (not minimize) the y metric")
 
 
 @command("sweep", help="design-space grid over variants/depths/units/formats", configure=_configure_sweep)
@@ -289,17 +314,57 @@ def _cmd_sweep(args, evaluator: Evaluator) -> CommandOutput:
     if args.models is not None:
         axes["models"] = args.models
     grid = scenario_grid(**axes)
-    results = run_sweep(grid, evaluator=evaluator, workers=args.workers)
-    data = [r.as_dict() for r in results]
+    if args.cache_dir is not None and args.engine != "batch":
+        raise ValueError("--cache-dir requires --engine batch")
+    if args.engine == "batch" and args.workers != 1:
+        raise ValueError("--workers applies to the loop engine; drop it with --engine batch")
+    loop_rows = None
+    if args.engine == "batch":
+        cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
+        table = sweep_batch(grid, cache=cache)
+    else:
+        # The engines are field-for-field identical, so the loop results feed
+        # the same columnar table and share one output path.
+        results = run_sweep(grid, evaluator=evaluator, workers=args.workers)
+        loop_rows = [r.as_dict() for r in results]
+        table = BatchResult.from_rows(grid, loop_rows)
+    if args.format == "pareto":
+        front = _pareto_front_or_error(
+            table, args.pareto_x, args.pareto_y, args.maximize_x, args.maximize_y
+        )
+        text = format_records(
+            front.records(),
+            title=(
+                f"Pareto front over ({args.pareto_x}, {args.pareto_y}): "
+                f"{len(front)} of {len(table)} scenarios"
+            ),
+        )
+        return CommandOutput(text, front.as_dicts())
+    data = loop_rows if loop_rows is not None else table.as_dicts()
     if args.format == "csv":
-        text = results_to_csv(results)
+        text = table.to_csv()
     elif args.format == "json":
-        text = results_to_json(results)
+        text = table.to_json()
     else:
         text = format_records(
-            results_to_records(results), title=f"Design-space sweep ({len(results)} scenarios)"
+            table.records(), title=f"Design-space sweep ({len(table)} scenarios)"
         )
     return CommandOutput(text, data)
+
+
+def _pareto_front_or_error(table: BatchResult, x: str, y: str, maximize_x: bool, maximize_y: bool):
+    """Extract a Pareto front, mapping metric mistakes to clean CLI errors."""
+
+    try:
+        return table.pareto_front(x, y, maximize_x=maximize_x, maximize_y=maximize_y)
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown pareto metric: {exc.args[0] if exc.args else exc}"
+        ) from exc
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"pareto metrics must be numeric columns (got --pareto-x {x} --pareto-y {y}): {exc}"
+        ) from exc
 
 
 # -- parser / entry point ---------------------------------------------------------------

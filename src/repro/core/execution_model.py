@@ -19,8 +19,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..fpga.axi import AxiTransferConfig, AxiTransferModel
-from ..fpga.cycles import CycleModelConfig, OdeBlockCycleModel
+from ..fpga.cycles import (
+    CycleModelConfig,
+    OdeBlockCycleModel,
+    bn_cycles_kernel,
+    block_seconds_kernel,
+    conv_cycles_kernel,
+    effective_units_kernel,
+)
 from ..fpga.device import PYNQ_Z2, BoardSpec
+from ..fpga.geometry import BlockGeometry
 from ..hwsw.ps_model import PsModelConfig, SoftwareCostModel
 from .network_spec import LAYER_ORDER, layer_geometry
 from .variants import SUPPORTED_DEPTHS, BlockRealization, VariantSpec, variant_spec
@@ -31,7 +39,35 @@ __all__ = [
     "ExecutionTimeModel",
     "PAPER_OFFLOAD_TARGETS",
     "TABLE5_MODELS",
+    "pl_layer_seconds_kernel",
 ]
+
+
+def pl_layer_seconds_kernel(
+    geometry: BlockGeometry,
+    n_units,
+    clock_hz,
+    cycle_config: CycleModelConfig,
+    transfer_seconds,
+):
+    """Array-capable kernel: PL time of one block execution (compute + DMA).
+
+    ``n_units``, ``clock_hz`` and ``transfer_seconds`` may be scalars or NumPy
+    arrays; the geometry and cycle-model constants are per-layer scalars.  The
+    scalar :meth:`ExecutionTimeModel.pl_layer_seconds` and the batch engine
+    (:mod:`repro.api.batch`) both evaluate exactly this expression, keeping
+    the two paths bit-identical.
+    """
+
+    units = effective_units_kernel(n_units, geometry.out_channels)
+    conv = conv_cycles_kernel(geometry.total_macs, units, cycle_config.cycles_per_mac)
+    bn = bn_cycles_kernel(geometry.bn_elements, cycle_config.bn_cycles_per_element)
+    if cycle_config.relu_cycles_per_element == 0.0:
+        relu = 0.0
+    else:
+        relu = geometry.output_elements * cycle_config.relu_cycles_per_element / units
+    compute = block_seconds_kernel(conv, bn, relu, cycle_config.invocation_overhead, clock_hz)
+    return compute + transfer_seconds
 
 
 #: Offload target(s) used for each Table-5 row ("Offload target" column).
@@ -200,16 +236,19 @@ class ExecutionTimeModel:
 
         geom = layer_geometry(layer)
         fpga_geom = geom.fpga_geometry()
-        units = self.n_units if n_units is None else n_units
-        compute = self.cycle_model.block_time_seconds(
-            fpga_geom, units, clock_hz=self.board.pl_clock_hz
+        units = self.cycle_model.effective_units(
+            fpga_geom, self.n_units if n_units is None else n_units
         )
         transfer = (
             self.transfer_model.block_round_trip(fpga_geom).seconds
             if self.include_transfer
             else 0.0
         )
-        return compute + transfer
+        return float(
+            pl_layer_seconds_kernel(
+                fpga_geom, units, self.board.pl_clock_hz, self.cycle_model.config, transfer
+            )
+        )
 
     # -- reports -----------------------------------------------------------------------
 

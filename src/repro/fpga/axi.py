@@ -15,9 +15,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+import numpy as np
+
 from .geometry import BlockGeometry
 
-__all__ = ["AxiTransferConfig", "TransferEstimate", "AxiTransferModel"]
+__all__ = ["AxiTransferConfig", "TransferEstimate", "AxiTransferModel", "transfer_cycles_kernel"]
+
+
+def transfer_cycles_kernel(num_words, setup_cycles, cycles_per_word):
+    """Array-capable kernel: cycles to move ``num_words`` words over AXI.
+
+    Zero-word transfers cost nothing (no DMA descriptor is set up).  Accepts
+    scalars or NumPy arrays; the scalar model method wraps it in ``float()``
+    so both paths share one formula (see :mod:`repro.api.batch`).
+    """
+
+    words = np.asarray(num_words)
+    return np.where(words == 0, 0.0, setup_cycles + words * cycles_per_word)
 
 
 @dataclass(frozen=True)
@@ -66,9 +80,9 @@ class AxiTransferModel:
 
         if num_words < 0:
             raise ValueError("num_words must be non-negative")
-        if num_words == 0:
-            return 0.0
-        return self.config.setup_cycles + num_words * self.config.cycles_per_word
+        return float(
+            transfer_cycles_kernel(num_words, self.config.setup_cycles, self.config.cycles_per_word)
+        )
 
     def transfer_seconds(self, num_words: int) -> float:
         return self.transfer_cycles(num_words) / self.config.clock_hz

@@ -27,9 +27,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+import numpy as np
+
 from .geometry import BlockGeometry
 
-__all__ = ["CycleModelConfig", "CycleBreakdown", "OdeBlockCycleModel", "PAPER_LAYER3_2_CYCLES"]
+__all__ = [
+    "CycleModelConfig",
+    "CycleBreakdown",
+    "OdeBlockCycleModel",
+    "PAPER_LAYER3_2_CYCLES",
+    "effective_units_kernel",
+    "conv_cycles_kernel",
+    "bn_cycles_kernel",
+    "block_seconds_kernel",
+]
 
 
 #: Published execution cycles of layer3_2 for each conv_xN configuration
@@ -64,6 +75,39 @@ class CycleModelConfig:
     invocation_overhead: float = 0.0
 
 
+# -- array-capable kernels ---------------------------------------------------------------
+#
+# The batch-evaluation engine (:mod:`repro.api.batch`) computes these formulas
+# over whole scenario axes at once, so each is exposed as a kernel accepting
+# either scalars or NumPy arrays.  The scalar model methods below delegate to
+# the same kernels (wrapped in ``float()``), which keeps the two paths
+# bit-identical: every operation is an IEEE-754 double op in both cases.
+
+
+def effective_units_kernel(n_units, out_channels):
+    """MAC units usable for a block: parallelism is capped by output channels."""
+
+    return np.minimum(n_units, out_channels)
+
+
+def conv_cycles_kernel(total_macs, units, cycles_per_mac):
+    """Cycles of both convolution steps given the *effective* unit count."""
+
+    return total_macs / units * cycles_per_mac
+
+
+def bn_cycles_kernel(bn_elements, bn_cycles_per_element):
+    """Cycles of both batch-normalisation steps (parallelism-independent)."""
+
+    return bn_elements * bn_cycles_per_element
+
+
+def block_seconds_kernel(conv_cycles, bn_cycles, relu_cycles, overhead_cycles, clock_hz):
+    """Wall-clock seconds of one block execution at a given PL clock."""
+
+    return (conv_cycles + bn_cycles + relu_cycles + overhead_cycles) / clock_hz
+
+
 @dataclass(frozen=True)
 class CycleBreakdown:
     """Cycle counts of one ODEBlock execution on the PL part."""
@@ -80,7 +124,11 @@ class CycleBreakdown:
     def time_seconds(self, clock_hz: float) -> float:
         """Wall-clock execution time at the given PL clock frequency."""
 
-        return self.total / clock_hz
+        return float(
+            block_seconds_kernel(
+                self.conv_cycles, self.bn_cycles, self.relu_cycles, self.overhead_cycles, clock_hz
+            )
+        )
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -108,18 +156,18 @@ class OdeBlockCycleModel:
 
         if n_units < 1:
             raise ValueError("n_units must be >= 1")
-        return min(n_units, geometry.out_channels)
+        return int(effective_units_kernel(n_units, geometry.out_channels))
 
     def conv_cycles(self, geometry: BlockGeometry, n_units: int) -> float:
         """Cycles of both convolution steps with ``n_units`` MAC units."""
 
         units = self.effective_units(geometry, n_units)
-        return geometry.total_macs / units * self.config.cycles_per_mac
+        return float(conv_cycles_kernel(geometry.total_macs, units, self.config.cycles_per_mac))
 
     def bn_cycles(self, geometry: BlockGeometry) -> float:
         """Cycles of both batch-normalisation steps (parallelism-independent)."""
 
-        return geometry.bn_elements * self.config.bn_cycles_per_element
+        return float(bn_cycles_kernel(geometry.bn_elements, self.config.bn_cycles_per_element))
 
     def relu_cycles(self, geometry: BlockGeometry, n_units: int) -> float:
         """Cycles of the ReLU step (zero when fused into the conv pipeline)."""

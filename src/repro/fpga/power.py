@@ -29,7 +29,14 @@ from .device import ResourceVector
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard (lazy import at runtime)
     from ..core.execution_model import ExecutionTimeModel, ExecutionTimeReport
 
-__all__ = ["PowerModelConfig", "EnergyEstimate", "PowerModel"]
+__all__ = [
+    "PowerModelConfig",
+    "EnergyEstimate",
+    "PowerModel",
+    "pl_power_kernel",
+    "ps_energy_with_pl_kernel",
+    "energy_without_pl_kernel",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +49,37 @@ class PowerModelConfig:
     pl_dynamic_per_dsp_w: float = 0.0015
     pl_dynamic_per_bram_w: float = 0.0005
     pl_dynamic_base_w: float = 0.05
+
+
+# -- array-capable kernels ---------------------------------------------------------------
+#
+# The scalar methods of :class:`PowerModel` and the batch-evaluation engine
+# (:mod:`repro.api.batch`) share these formulas; all inputs may be scalars or
+# NumPy arrays.
+
+
+def pl_power_kernel(dsp, bram, config: PowerModelConfig):
+    """Static + dynamic PL power for a set of active resources."""
+
+    return (
+        config.pl_static_w
+        + config.pl_dynamic_base_w
+        + config.pl_dynamic_per_dsp_w * dsp
+        + config.pl_dynamic_per_bram_w * bram
+    )
+
+
+def ps_energy_with_pl_kernel(seconds, pl_busy_seconds, config: PowerModelConfig):
+    """PS energy of an offloaded prediction (active while the PL is idle)."""
+
+    ps_busy = seconds - pl_busy_seconds
+    return config.ps_active_w * ps_busy + config.ps_idle_w * pl_busy_seconds
+
+
+def energy_without_pl_kernel(seconds, config: PowerModelConfig):
+    """Total energy of a pure-software prediction (PS busy throughout)."""
+
+    return config.ps_active_w * seconds
 
 
 @dataclass(frozen=True)
@@ -93,13 +131,7 @@ class PowerModel:
     def pl_power_w(self, resources: ResourceVector) -> float:
         """Dynamic + static PL power for a given set of active resources."""
 
-        cfg = self.config
-        return (
-            cfg.pl_static_w
-            + cfg.pl_dynamic_base_w
-            + cfg.pl_dynamic_per_dsp_w * resources.dsp
-            + cfg.pl_dynamic_per_bram_w * resources.bram
-        )
+        return float(pl_power_kernel(resources.dsp, resources.bram, self.config))
 
     # -- per-prediction energy -------------------------------------------------------
 
@@ -111,7 +143,7 @@ class PowerModel:
             model=report.model,
             depth=report.depth,
             seconds=seconds,
-            ps_energy_j=self.config.ps_active_w * seconds,
+            ps_energy_j=float(energy_without_pl_kernel(seconds, self.config)),
             pl_energy_j=0.0,
         )
 
@@ -126,8 +158,7 @@ class PowerModel:
 
         seconds = report.total_with_pl
         pl_busy = sum(report.target_with_pl)
-        ps_busy = seconds - pl_busy
-        ps_energy = self.config.ps_active_w * ps_busy + self.config.ps_idle_w * pl_busy
+        ps_energy = float(ps_energy_with_pl_kernel(seconds, pl_busy, self.config))
         pl_energy = self.pl_power_w(resources) * seconds
         return EnergyEstimate(
             model=report.model,

@@ -32,7 +32,34 @@ __all__ = [
     "ResourceEstimator",
     "published_table3",
     "PUBLISHED_TABLE3",
+    "dsp_count_kernel",
+    "lut_count_kernel",
+    "ff_count_kernel",
 ]
+
+
+# -- array-capable kernels ---------------------------------------------------------------
+#
+# Shared by the scalar estimator methods below and the batch-evaluation engine
+# (:mod:`repro.api.batch`), which evaluates them over whole ``n_units`` axes.
+
+
+def dsp_count_kernel(n_units, dsp_base, dsp_per_unit):
+    """DSP48 slices: the shared BN divide/sqrt unit plus slices per MAC unit."""
+
+    return dsp_base + dsp_per_unit * n_units
+
+
+def lut_count_kernel(n_units, out_channels, lut_base, lut_per_unit, lut_per_unit_per_channel):
+    """LUTs: fixed control/BN part plus a per-unit datapath part."""
+
+    return lut_base + n_units * (lut_per_unit + lut_per_unit_per_channel * out_channels)
+
+
+def ff_count_kernel(n_units, out_channels, ff_base, ff_per_unit, ff_per_unit_per_channel):
+    """Flip-flops: fixed control/BN part plus a per-unit datapath part."""
+
+    return ff_base + n_units * (ff_per_unit + ff_per_unit_per_channel * out_channels)
 
 
 #: Table 3 of the paper: absolute counts for (layer, n_units) -> (BRAM, DSP, LUT, FF).
@@ -116,20 +143,22 @@ class ResourceEstimator:
     def dsp_count(self, n_units: int) -> int:
         """DSP48 slices: 4 per multiply-add unit plus the BN divide/sqrt unit."""
 
-        return self.config.dsp_base + self.config.dsp_per_unit * n_units
+        return int(dsp_count_kernel(n_units, self.config.dsp_base, self.config.dsp_per_unit))
 
     def lut_count(self, geometry: BlockGeometry, n_units: int) -> float:
         c = self.config
-        return (
-            c.lut_base
-            + n_units * (c.lut_per_unit + c.lut_per_unit_per_channel * geometry.out_channels)
+        return float(
+            lut_count_kernel(
+                n_units, geometry.out_channels, c.lut_base, c.lut_per_unit, c.lut_per_unit_per_channel
+            )
         )
 
     def ff_count(self, geometry: BlockGeometry, n_units: int) -> float:
         c = self.config
-        return (
-            c.ff_base
-            + n_units * (c.ff_per_unit + c.ff_per_unit_per_channel * geometry.out_channels)
+        return float(
+            ff_count_kernel(
+                n_units, geometry.out_channels, c.ff_base, c.ff_per_unit, c.ff_per_unit_per_channel
+            )
         )
 
     def estimate(self, block: str | BlockGeometry, n_units: int = 16) -> ResourceEstimate:

@@ -26,7 +26,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-__all__ = ["PsModelConfig", "SoftwareCostModel"]
+__all__ = ["PsModelConfig", "SoftwareCostModel", "work_time_kernel"]
+
+
+def work_time_kernel(macs, elements, passes, cycles_per_mac, cycles_per_element, clock_hz):
+    """Array-capable kernel: seconds of software work on the PS part.
+
+    Shared by :meth:`SoftwareCostModel.work_time` and the batch-evaluation
+    engine (:mod:`repro.api.batch`); inputs may be scalars or NumPy arrays.
+    """
+
+    cycles = macs * cycles_per_mac + elements * passes * cycles_per_element
+    return cycles / clock_hz
 
 
 @dataclass(frozen=True)
@@ -57,8 +68,11 @@ class SoftwareCostModel:
         """Seconds to execute ``macs`` MACs plus ``passes`` passes over ``elements``."""
 
         cfg = self.config
-        cycles = macs * cfg.cycles_per_mac + elements * passes * cfg.cycles_per_element
-        return cycles / cfg.clock_hz
+        return float(
+            work_time_kernel(
+                macs, elements, passes, cfg.cycles_per_mac, cfg.cycles_per_element, cfg.clock_hz
+            )
+        )
 
     def block_time(self, macs: float, out_elements: float, elementwise_passes: int) -> float:
         """Seconds for one building-block (or layer-group) execution."""

@@ -9,6 +9,7 @@ import pytest
 from repro.api import (
     Evaluator,
     Scenario,
+    SweepError,
     results_to_csv,
     results_to_json,
     results_to_records,
@@ -42,6 +43,37 @@ def test_sweep_memoizes_duplicates():
 def test_sweep_rejects_bad_workers():
     with pytest.raises(ValueError, match="workers"):
         sweep([Scenario()], workers=0)
+
+
+class _ExplodingEvaluator(Evaluator):
+    """Fails on one specific design point (to simulate a worker crash)."""
+
+    def __init__(self, poison: Scenario) -> None:
+        super().__init__()
+        self._poison = poison
+
+    def evaluate(self, scenario: Scenario):
+        if scenario == self._poison:
+            raise RuntimeError("boom")
+        return super().evaluate(scenario)
+
+
+def test_sweep_error_names_the_failing_scenario():
+    scenarios = scenario_grid(**GRID)
+    poison = scenarios[2]
+    with pytest.raises(SweepError, match=poison.full_name) as excinfo:
+        sweep(scenarios, evaluator=_ExplodingEvaluator(poison))
+    assert excinfo.value.scenario == poison
+    assert isinstance(excinfo.value.__cause__, RuntimeError)
+    # The message carries the full design point, not just the name.
+    assert f"'n_units': {poison.n_units}" in str(excinfo.value)
+
+
+def test_sweep_error_surfaces_from_worker_threads():
+    scenarios = scenario_grid(**GRID)
+    poison = scenarios[-1]
+    with pytest.raises(SweepError, match=poison.full_name):
+        sweep(scenarios, evaluator=_ExplodingEvaluator(poison), workers=4)
 
 
 def test_csv_output_one_row_per_scenario():

@@ -200,3 +200,52 @@ class TestSweepCommand:
         data = json.loads(out)
         assert [d["scenario"]["word_length"] for d in data] == [32, 16]
         assert data[1]["resources"]["bram"] < data[0]["resources"]["bram"]
+
+    @pytest.mark.parametrize("fmt", ["csv", "json", "table"])
+    def test_batch_engine_output_identical_to_loop(self, capsys, fmt):
+        argv = ["sweep", "--models", "rODENet-3", "Hybrid-3", "--depths", "20", "56",
+                "--n-units", "8", "16", "--format", fmt]
+        loop = run_cli(capsys, *argv)
+        batch = run_cli(capsys, *argv, "--engine", "batch")
+        assert batch == loop
+
+    def test_pareto_format(self, capsys):
+        out = run_cli(capsys, "sweep", "--models", "rODENet-3", "--depths", "20", "56",
+                      "--n-units", "1", "4", "16", "--engine", "batch", "--format", "pareto",
+                      "--pareto-x", "bram", "--pareto-y", "overall_speedup", "--maximize-y")
+        assert "Pareto front over (bram, overall_speedup)" in out
+
+    def test_pareto_works_with_loop_engine_too(self, capsys):
+        out = run_cli(capsys, "sweep", "--models", "rODENet-3", "--depths", "20", "56",
+                      "--format", "pareto")
+        assert "Pareto front" in out
+
+    def test_unknown_pareto_metric_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--models", "rODENet-3", "--depths", "56",
+                     "--format", "pareto", "--pareto-x", "totl_w_pl_s"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "unknown pareto metric" in err
+
+    def test_non_numeric_pareto_metric_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--models", "rODENet-3", "--depths", "56",
+                     "--format", "pareto", "--pareto-x", "targets"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "numeric" in err
+
+    def test_workers_flag_rejected_with_batch_engine(self, capsys):
+        assert main(["sweep", "--models", "rODENet-3", "--depths", "56",
+                     "--engine", "batch", "--workers", "8"]) == 2
+        assert "loop engine" in capsys.readouterr().err
+
+    def test_cache_dir_requires_batch_engine(self, capsys, tmp_path):
+        assert main(["sweep", "--models", "rODENet-3", "--depths", "56",
+                     "--cache-dir", str(tmp_path / "c")]) == 2
+        assert "requires --engine batch" in capsys.readouterr().err
+
+    def test_cache_dir_persists_results(self, capsys, tmp_path):
+        cache_dir = tmp_path / "sweep-cache"
+        argv = ["sweep", "--models", "rODENet-3", "--depths", "20", "56",
+                "--engine", "batch", "--cache-dir", str(cache_dir), "--format", "csv"]
+        first = run_cli(capsys, *argv)
+        assert len(list(cache_dir.glob("*/*.json"))) == 2
+        assert run_cli(capsys, *argv) == first
