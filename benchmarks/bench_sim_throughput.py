@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Benchmark: discrete-event engine throughput and serving saturation curves.
+
+Two measurements:
+
+1. **Engine events/sec** — a microbenchmark of the raw kernel (timeout chains
+   through many concurrent processes, the dominant event pattern in serving
+   runs).  The engine must sustain at least 100k events/sec (asserted unless
+   ``--quick``), which keeps even million-event serving studies interactive.
+
+2. **Saturation throughput** — Poisson serving runs of rODENet-3-20 at
+   increasing arrival rates for 1 and 2 PL replicas, printing delivered
+   throughput and p95 latency per point.  The knee — where p95 departs from
+   the no-load service time — is the number the analytic model cannot
+   produce; the curve printed here is the quantitative answer to "how much
+   traffic can one board take?".
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py            # full
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.api import Evaluator
+from repro.sim import SimScenario, Simulator, simulate
+
+MIN_EVENTS_PER_SEC = 100_000.0
+
+
+def bench_engine(n_processes: int, hops: int) -> float:
+    """Events/sec of the raw kernel: ``n_processes`` timeout chains."""
+
+    sim = Simulator()
+
+    def chain(offset: float):
+        for k in range(hops):
+            yield sim.timeout(0.001 + offset)
+
+    for i in range(n_processes):
+        sim.process(chain(i * 1e-6))
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return sim.events_processed / elapsed
+
+
+def bench_saturation(rates, replicas_list, n_requests: int) -> None:
+    evaluator = Evaluator()
+    base = SimScenario(
+        model="rODENet-3",
+        depth=20,
+        arrival="poisson",
+        n_requests=n_requests,
+        policy="batched",
+        batch_size=4,
+        ps_cores=2,
+        seed=0,
+    )
+    service = simulate(
+        base.replace(arrival="deterministic", n_requests=1), evaluator=evaluator
+    ).latency.mean
+    print(f"\nsaturation curves (no-load service time {service * 1e3:.1f} ms):")
+    print(f"{'replicas':>8} {'offered rps':>12} {'delivered rps':>14} "
+          f"{'p95 [ms]':>10} {'PS util':>8} {'PL util':>8}")
+    for replicas in replicas_list:
+        for rate in rates:
+            report = simulate(
+                base.replace(replicas=replicas, arrival_rate_hz=rate),
+                evaluator=evaluator,
+            )
+            print(
+                f"{replicas:>8} {rate:>12.1f} {report.throughput_rps:>14.2f} "
+                f"{report.latency.percentiles[95] * 1e3:>10.1f} "
+                f"{report.utilization['ps']:>8.2f} "
+                f"{report.utilization['accelerator_mean']:>8.2f}"
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke (small runs, no floor)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n_processes, hops = 200, 20
+        rates, replicas_list, n_requests = (2.0, 8.0), (1,), 30
+    else:
+        n_processes, hops = 2_000, 100
+        rates, replicas_list, n_requests = (1.0, 2.0, 4.0, 6.0, 8.0, 12.0), (1, 2), 200
+
+    eps = bench_engine(n_processes, hops)
+    print(f"engine: {n_processes} processes x {hops} hops -> {eps:,.0f} events/sec")
+    if not args.quick and eps < MIN_EVENTS_PER_SEC:
+        print(f"FAIL: engine below {MIN_EVENTS_PER_SEC:,.0f} events/sec", file=sys.stderr)
+        return 1
+
+    bench_saturation(rates, replicas_list, n_requests)
+    print("\nok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

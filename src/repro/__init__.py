@@ -19,14 +19,18 @@ The package is organised as the paper's system is:
 * :mod:`repro.analysis` — regeneration of every table and figure.
 * :mod:`repro.api` — the unified ``Scenario -> Evaluator -> Result`` entry
   point and the design-space sweep engine behind the CLI.
+* :mod:`repro.sim` — discrete-event simulation of multi-request serving:
+  arrival processes, PS/AXI/PL resource contention, replicated accelerators,
+  dispatch policies and latency/utilisation/energy metrics.
 """
 
-from . import analysis, api, core, data, fixedpoint, fpga, hwsw, nn, ode, train
+from . import analysis, api, core, data, fixedpoint, fpga, hwsw, nn, ode, sim, train
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "api",
+    "sim",
     "core",
     "nn",
     "ode",

@@ -26,6 +26,15 @@ to two orders of magnitude faster):
 >>> len(table.pareto_front("total_w_pl_s", "bram"))  # latency/BRAM trade-off
 1
 
+Multi-request serving scenarios (arrival processes, replicated PL
+accelerators, dispatch policies) run through the discrete-event simulator:
+
+>>> from repro.api import SimScenario, simulate
+>>> report = simulate(SimScenario(model="rODENet-3", depth=20, arrival="poisson",
+...                               arrival_rate_hz=2.0, n_requests=20, replicas=1))
+>>> report.requests["completed"]
+20
+
 Everything the CLI, the examples and the benchmarks print is derived from
 these objects; see the package README for the quickstart.
 """
@@ -44,7 +53,15 @@ from .scenario import (
 )
 from .sweep import SweepError, results_to_csv, results_to_json, results_to_records, sweep
 
+# The system simulator lives in repro.sim but is part of the public API
+# surface.  This import must stay below the submodule imports above:
+# repro.sim pulls Scenario/Evaluator from this package's submodules.
+from ..sim import SimReport, SimScenario, simulate
+
 __all__ = [
+    "SimScenario",
+    "simulate",
+    "SimReport",
     "Scenario",
     "scenario_grid",
     "fraction_bits_for",

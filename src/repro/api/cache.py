@@ -76,6 +76,8 @@ class ResultCache:
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -92,13 +94,17 @@ class ResultCache:
             with path.open("r", encoding="utf-8") as fh:
                 payload = json.load(fh)
         except (OSError, ValueError):
+            self.misses += 1
             return None
         if not isinstance(payload, dict):
+            self.misses += 1
             return None
         for section, keys in _REQUIRED_KEYS.items():
             entry = payload.get(section)
             if not isinstance(entry, dict) or any(key not in entry for key in keys):
+                self.misses += 1
                 return None
+        self.hits += 1
         return payload
 
     def put(self, scenario: Scenario, payload: Dict) -> None:
@@ -125,6 +131,63 @@ class ResultCache:
         """Number of stored entries (walks the cache directory)."""
 
         return sum(1 for _ in self.root.glob("*/*.json"))
+
+    # -- introspection / maintenance ---------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Lookup counters plus the on-disk footprint.
+
+        ``hits``/``misses``/``hit_rate`` count :meth:`get` calls on *this*
+        instance (the lifetime of one sweep); ``entries`` and ``bytes`` walk
+        the directory, so they reflect everything ever stored under the
+        root, including by other processes.
+        """
+
+        entries = 0
+        size = 0
+        for path in self.root.glob("*/*.json"):
+            entries += 1
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "entries": entries,
+            "bytes": size,
+        }
+
+    def prune(self, max_entries: int) -> int:
+        """Shrink the cache to at most ``max_entries``, oldest entries first.
+
+        Age is the file modification time (refreshed on every overwrite, so
+        recently recomputed entries survive).  Returns the number of entries
+        removed; missing files (a concurrent prune) are skipped silently.
+        """
+
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        entries = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                entries.append((path.stat().st_mtime, str(path), path))
+            except OSError:
+                pass
+        excess = len(entries) - max_entries
+        if excess <= 0:
+            return 0
+        entries.sort()
+        removed = 0
+        for _, _, path in entries[:excess]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     def clear(self) -> None:
         """Delete every stored entry (the directory itself is kept)."""

@@ -34,22 +34,28 @@ class SweepError(RuntimeError):
     """A scenario evaluation failed inside a sweep.
 
     Worker-pool tracebacks lose the loop context, so the error message names
-    the failing scenario explicitly; the original exception is chained as
-    ``__cause__`` and the design point is available as :attr:`scenario`.
+    the failing scenario explicitly — including its position in the grid,
+    which is what you need to resume or bisect a long sweep.  The original
+    exception is chained as ``__cause__``; the design point and its grid
+    position are available as :attr:`scenario` and :attr:`index`.
     """
 
-    def __init__(self, scenario: Scenario, cause: BaseException) -> None:
+    def __init__(
+        self, scenario: Scenario, cause: BaseException, index: Optional[int] = None
+    ) -> None:
+        where = f"scenario #{index} " if index is not None else "scenario "
         super().__init__(
-            f"evaluation failed for scenario {scenario.full_name} "
+            f"evaluation failed for {where}{scenario.full_name} "
             f"({scenario.as_dict()}): {cause!r}"
         )
         self.scenario = scenario
         self.cause = cause
+        self.index = index
 
     def __reduce__(self):
         # BaseException pickling replays args into __init__; ours are
-        # (scenario, cause), not the formatted message.
-        return (SweepError, (self.scenario, self.cause))
+        # (scenario, cause, index), not the formatted message.
+        return (SweepError, (self.scenario, self.cause, self.index))
 
 
 def sweep(
@@ -76,16 +82,17 @@ def sweep(
     ev = evaluator if evaluator is not None else Evaluator()
     points = list(scenarios)
 
-    def evaluate(scenario: Scenario) -> Result:
+    def evaluate(item: "tuple[int, Scenario]") -> Result:
+        index, scenario = item
         try:
             return ev.evaluate(scenario)
         except Exception as exc:
-            raise SweepError(scenario, exc) from exc
+            raise SweepError(scenario, exc, index=index) from exc
 
     if workers == 1 or len(points) <= 1:
-        return [evaluate(s) for s in points]
+        return [evaluate(item) for item in enumerate(points)]
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(evaluate, points))
+        return list(pool.map(evaluate, enumerate(points)))
 
 
 def results_to_records(results: Sequence[Result]) -> List[dict]:

@@ -20,6 +20,7 @@ energy         per-prediction energy with vs without the PL offload
 training       projected training cost (future-work analysis)
 eval           full structured report for one scenario
 sweep          design-space grid (variants x depths x MAC units x ...)
+sim            discrete-event serving simulation (arrivals/replicas/policies)
 ============  ==========================================================
 
 Every sub-command accepts ``--json`` to emit the structured result instead
@@ -52,6 +53,7 @@ from .api import (
     sweep_batch,
 )
 from .api import sweep as run_sweep
+from .api.sweep import SweepError
 from .core import SUPPORTED_DEPTHS
 from .ode.solvers import available_methods
 
@@ -300,6 +302,11 @@ def _configure_sweep(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument("--maximize-x", action="store_true", help="maximize (not minimize) the x metric")
     p.add_argument("--maximize-y", action="store_true", help="maximize (not minimize) the y metric")
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print cache diagnostics to stderr (with --cache-dir: hit-rate and footprint)",
+    )
 
 
 @command("sweep", help="design-space grid over variants/depths/units/formats", configure=_configure_sweep)
@@ -322,6 +329,16 @@ def _cmd_sweep(args, evaluator: Evaluator) -> CommandOutput:
     if args.engine == "batch":
         cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
         table = sweep_batch(grid, cache=cache)
+        if args.verbose and cache is not None:
+            # Diagnostics go to stderr so every --format (json/csv included)
+            # stays machine-readable on stdout.
+            stats = cache.stats()
+            print(
+                f"[cache] {stats['hits']} hits / {stats['misses']} misses "
+                f"({100.0 * stats['hit_rate']:.1f}% hit rate), "
+                f"{stats['entries']} entries, {stats['bytes']} bytes on disk",
+                file=sys.stderr,
+            )
     else:
         # The engines are field-for-field identical, so the loop results feed
         # the same columnar table and share one output path.
@@ -350,6 +367,106 @@ def _cmd_sweep(args, evaluator: Evaluator) -> CommandOutput:
             table.records(), title=f"Design-space sweep ({len(table)} scenarios)"
         )
     return CommandOutput(text, data)
+
+
+def _configure_sim(p: argparse.ArgumentParser) -> None:
+    p.add_argument("model", nargs="?", default="rODENet-3", choices=MODEL_CHOICES)
+    p.add_argument("--depth", type=int, default=56)
+    p.add_argument("--n-units", type=int, default=16)
+    _add_scenario_knobs(p)
+    p.add_argument(
+        "--arrivals", choices=("poisson", "deterministic", "trace"), default="poisson",
+        help="request arrival process",
+    )
+    p.add_argument("--rate", type=float, default=1.0, help="mean arrival rate [req/s]")
+    p.add_argument(
+        "--requests", type=int, default=None,
+        help="number of requests to offer (default: the full trace, or the whole "
+        "--duration, or 100 when neither bounds the run)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=None,
+        help="stop offering arrivals after this much simulated time [s]",
+    )
+    p.add_argument(
+        "--trace", nargs="*", type=float, default=None,
+        help="explicit arrival timestamps (with --arrivals trace)",
+    )
+    p.add_argument(
+        "--replicas", default="1",
+        help="PL accelerator replicas, or 'auto' to size from the resource budget",
+    )
+    p.add_argument("--policy", choices=("fifo", "batched", "round_robin"), default="fifo")
+    p.add_argument("--batch-size", type=int, default=4, help="max batch per replica (--policy batched)")
+    p.add_argument("--seed", type=int, default=0, help="PRNG seed (Poisson arrivals, mix sampling)")
+    p.add_argument("--ps-cores", type=int, default=1, help="PS cores serving software phases")
+    p.add_argument("--dma-channels", type=int, default=1, help="concurrent AXI DMA bursts")
+    p.add_argument(
+        "--mix", nargs="*", default=None, metavar="MODEL:DEPTH[:WEIGHT]",
+        help="weighted per-request architecture mix sharing the same PL hardware",
+    )
+    p.add_argument("--format", choices=("table", "json", "csv"), default="table")
+
+
+def _parse_mix(entries, scenario) -> List:
+    """Parse ``--mix MODEL:DEPTH[:WEIGHT]`` into (scenario, weight) pairs."""
+
+    mix = []
+    for entry in entries:
+        parts = entry.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(f"bad --mix entry '{entry}'; expected MODEL:DEPTH[:WEIGHT]")
+        model, depth = parts[0], int(parts[1])
+        weight = float(parts[2]) if len(parts) == 3 else 1.0
+        mix.append((scenario.design_point.replace(model=model, depth=depth), weight))
+    return mix
+
+
+@command(
+    "sim",
+    help="discrete-event simulation of multi-request PS+PL serving",
+    configure=_configure_sim,
+)
+def _cmd_sim(args, evaluator: Evaluator) -> CommandOutput:
+    from .sim import SimScenario, max_replicas, simulate
+
+    if args.replicas == "auto":
+        replicas = 0
+    else:
+        try:
+            replicas = int(args.replicas)
+        except ValueError:
+            raise ValueError(
+                f"--replicas must be a non-negative integer or 'auto' (got {args.replicas!r})"
+            )
+    scenario = SimScenario(
+        model=args.model,
+        depth=args.depth,
+        n_units=args.n_units,
+        word_length=args.wordlength,
+        fraction_bits=fraction_bits_for(args.wordlength, args.fraction_bits),
+        solver=args.solver,
+        arrival=args.arrivals,
+        arrival_rate_hz=args.rate,
+        n_requests=args.requests,
+        duration_s=args.duration,
+        trace=tuple(args.trace) if args.trace is not None else None,
+        replicas=replicas,
+        policy=args.policy,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        ps_cores=args.ps_cores,
+        dma_channels=args.dma_channels,
+    )
+    mix = _parse_mix(args.mix, scenario) if args.mix else None
+    report = simulate(scenario, evaluator=evaluator, mix=mix)
+    if args.format == "csv":
+        text = report.to_csv()
+    elif args.format == "json":
+        text = json.dumps(report.as_dict(), indent=2)
+    else:
+        text = report.render()
+    return CommandOutput(text, report.as_dict())
 
 
 def _pareto_front_or_error(table: BatchResult, x: str, y: str, maximize_x: bool, maximize_y: bool):
@@ -399,6 +516,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     evaluator = Evaluator()
     try:
         output = cmd.handler(args, evaluator)
+    except SweepError as exc:
+        # A design point blew up mid-grid: name it (and its index) cleanly
+        # instead of dumping a worker-pool traceback.
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 2
     except ValueError as exc:
         # Scenario/sweep validation errors (bad depth, n_units, workers, ...)
         # surface as clean CLI errors rather than tracebacks.

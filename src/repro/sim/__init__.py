@@ -1,0 +1,80 @@
+"""``repro.sim`` — discrete-event simulation of multi-request PS+PL serving.
+
+The analytic models (:mod:`repro.api`) price *one* inference in closed form;
+this package simulates *traffic*: request arrivals, queueing at the PS core
+and the replicated PL accelerators, burst-level AXI/DMA contention, dispatch
+policies and the latency/utilisation/energy consequences.  Per-transaction
+service times come from the same calibrated models the evaluator uses, so a
+contention-free simulation reproduces the analytic latency exactly and every
+multi-request scenario is new, internally consistent ground.
+
+Entry points:
+
+>>> from repro.sim import SimScenario, simulate
+>>> report = simulate(SimScenario(model="rODENet-3", depth=20, arrival="poisson",
+...                               arrival_rate_hz=2.0, n_requests=50, replicas=2))
+>>> report.requests["completed"]
+50
+
+or via the CLI: ``repro-odenet sim rODENet-3 --arrivals poisson --rate 2
+--requests 200 --replicas auto``.
+"""
+
+from .engine import Event, Process, Simulator, Timeout
+from .metrics import LatencyStats, SimReport, energy_summary, latency_stats
+from .policies import (
+    POLICY_NAMES,
+    BatchedPolicy,
+    Dispatcher,
+    DispatchPolicy,
+    FifoPolicy,
+    RoundRobinPolicy,
+    make_policy,
+    max_replicas,
+)
+from .resources import Accelerator, AxiBus, LevelMonitor, Resource
+from .runner import simulate
+from .scenario import SimScenario
+from .workload import (
+    ARRIVAL_KINDS,
+    PlExecution,
+    PsSegment,
+    Request,
+    ServicePlan,
+    arrival_times,
+    build_service_plan,
+    sample_mix,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Resource",
+    "AxiBus",
+    "Accelerator",
+    "LevelMonitor",
+    "Request",
+    "PsSegment",
+    "PlExecution",
+    "ServicePlan",
+    "ARRIVAL_KINDS",
+    "arrival_times",
+    "sample_mix",
+    "build_service_plan",
+    "DispatchPolicy",
+    "FifoPolicy",
+    "BatchedPolicy",
+    "RoundRobinPolicy",
+    "Dispatcher",
+    "POLICY_NAMES",
+    "make_policy",
+    "max_replicas",
+    "SimScenario",
+    "simulate",
+    "SimReport",
+    "LatencyStats",
+    "latency_stats",
+    "energy_summary",
+]

@@ -1,0 +1,232 @@
+"""Metrics of a simulated serving run: latency, utilisation, queues, energy.
+
+The simulator produces raw material — per-request timestamps and
+time-weighted occupancy integrals — and this module condenses it into the
+:class:`SimReport` the CLI, benchmarks and tests consume:
+
+* latency percentiles (p50/p90/p95/p99) over the completed requests'
+  sojourn times, plus the queueing-wait share;
+* utilisation of the PS cores, the AXI bus and every PL replica;
+* queue statistics (time-weighted mean and peak dispatcher backlog);
+* energy, priced with the *same* constants as the analytic
+  :class:`~repro.fpga.power.PowerModel`: the PS draws active power while a
+  core is busy and idle power otherwise, and every instantiated PL replica
+  burns static + dynamic power for the whole run (its clock never gates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..fpga.device import ResourceVector
+from ..fpga.power import PowerModelConfig, pl_power_kernel
+
+__all__ = ["LatencyStats", "SimReport", "latency_stats", "energy_summary"]
+
+#: Percentiles reported for every latency distribution.
+PERCENTILES: Tuple[int, ...] = (50, 90, 95, 99)
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency (or wait-time) sample set, in seconds."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    percentiles: Dict[int, float]
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "count": self.count,
+            "mean_s": self.mean,
+            "min_s": self.minimum,
+            "max_s": self.maximum,
+        }
+        for q, value in self.percentiles.items():
+            out[f"p{q}_s"] = value
+        return out
+
+
+def latency_stats(samples: Sequence[float], qs: Sequence[int] = PERCENTILES) -> LatencyStats:
+    """Percentile summary of a sample set (empty sets give all-zero stats)."""
+
+    if not len(samples):
+        return LatencyStats(0, 0.0, 0.0, 0.0, {int(q): 0.0 for q in qs})
+    arr = np.asarray(samples, dtype=np.float64)
+    pct = np.percentile(arr, list(qs))
+    return LatencyStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        percentiles={int(q): float(v) for q, v in zip(qs, pct)},
+    )
+
+
+def energy_summary(
+    horizon_s: float,
+    ps_busy_core_seconds: float,
+    ps_cores: int,
+    replica_resources: ResourceVector,
+    n_replicas: int,
+    completed: int,
+    config: Optional[PowerModelConfig] = None,
+) -> Dict[str, float]:
+    """Energy of the run, with the analytic power model's constants.
+
+    The PS subsystem draws ``ps_active_w`` scaled by its mean core
+    occupancy and ``ps_idle_w`` for the remainder (with one core this is
+    exactly the analytic model's busy/idle split); each PL replica draws its
+    static + dynamic power for the whole horizon.
+    """
+
+    cfg = config or PowerModelConfig()
+    busy_equivalent = ps_busy_core_seconds / ps_cores if ps_cores else 0.0
+    ps_j = cfg.ps_active_w * busy_equivalent + cfg.ps_idle_w * max(
+        0.0, horizon_s - busy_equivalent
+    )
+    pl_w = float(pl_power_kernel(replica_resources.dsp, replica_resources.bram, cfg))
+    pl_j = n_replicas * pl_w * horizon_s
+    total = ps_j + pl_j
+    return {
+        "ps_energy_J": ps_j,
+        "pl_energy_J": pl_j,
+        "total_energy_J": total,
+        # None (JSON null) when nothing completed — inf is not valid JSON.
+        "energy_per_request_J": total / completed if completed else None,
+        "average_power_W": total / horizon_s if horizon_s > 0 else 0.0,
+    }
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Structured outcome of one serving simulation."""
+
+    scenario: Dict[str, object]
+    requests: Dict[str, int]
+    horizon_s: float
+    throughput_rps: float
+    latency: LatencyStats
+    wait: LatencyStats
+    service_s: float
+    utilization: Dict[str, object]
+    queue: Dict[str, float]
+    energy: Dict[str, float]
+    bus: Dict[str, float]
+    events_processed: int
+    batch_sizes: Dict[str, float] = field(default_factory=dict)
+
+    # -- serialisation -----------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": dict(self.scenario),
+            "requests": dict(self.requests),
+            "horizon_s": self.horizon_s,
+            "throughput_rps": self.throughput_rps,
+            "service_s": self.service_s,
+            "latency": self.latency.as_dict(),
+            "wait": self.wait.as_dict(),
+            "utilization": {
+                k: (list(v) if isinstance(v, (list, tuple)) else v)
+                for k, v in self.utilization.items()
+            },
+            "queue": dict(self.queue),
+            "energy": dict(self.energy),
+            "bus": dict(self.bus),
+            "batch_sizes": dict(self.batch_sizes),
+            "events_processed": self.events_processed,
+        }
+
+    def flat_dict(self) -> Dict[str, object]:
+        """One CSV-safe row (scenario knobs, then scalar metrics)."""
+
+        row: Dict[str, object] = dict(self.scenario)
+        row.pop("trace", None)
+        row.update(
+            {
+                "offered": self.requests["offered"],
+                "completed": self.requests["completed"],
+                "horizon_s": self.horizon_s,
+                "throughput_rps": self.throughput_rps,
+                "service_s": self.service_s,
+            }
+        )
+        for key, value in self.latency.as_dict().items():
+            if key != "count":
+                row[f"latency_{key}"] = value
+        row["wait_mean_s"] = self.wait.mean
+        for key in ("ps", "axi", "accelerator_mean"):
+            row[f"util_{key}"] = self.utilization[key]
+        row.update({f"queue_{k}": v for k, v in self.queue.items()})
+        row.update(self.energy)
+        row["events_processed"] = self.events_processed
+        return row
+
+    def to_csv(self) -> str:
+        """Header + one data row (the ``sim --format csv`` output)."""
+
+        import csv
+        import io
+
+        row = self.flat_dict()
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(list(row.keys()))
+        writer.writerow(list(row.values()))
+        return buf.getvalue().rstrip("\n")
+
+    # -- rendering ---------------------------------------------------------------------
+
+    def render(self) -> str:
+        """Multi-section plain-text report (the ``sim`` subcommand output)."""
+
+        lat = self.latency
+        util = self.utilization
+        lines: List[str] = []
+        s = self.scenario
+        lines.append(
+            f"Simulated serving: {s['model']}-{s['depth']} on {s['board']} "
+            f"({s['replicas']} replica(s), policy={s['policy']}, arrivals={s['arrival']})"
+        )
+        lines.append("[requests]")
+        lines.append(f"  offered            : {self.requests['offered']}")
+        lines.append(f"  completed          : {self.requests['completed']}")
+        lines.append(f"  horizon            : {self.horizon_s:.4g} s")
+        lines.append(f"  throughput         : {self.throughput_rps:.4g} req/s")
+        lines.append("[latency]")
+        lines.append(f"  service (no load)  : {self.service_s:.6g} s")
+        lines.append(f"  mean               : {lat.mean:.6g} s")
+        for q in sorted(lat.percentiles):
+            lines.append(f"  {f'p{q}'.ljust(19)}: {lat.percentiles[q]:.6g} s")
+        lines.append(f"  max                : {lat.maximum:.6g} s")
+        lines.append(f"  mean queueing wait : {self.wait.mean:.6g} s")
+        lines.append("[utilization]")
+        lines.append(f"  ps cores           : {100.0 * util['ps']:.1f} %")
+        lines.append(f"  axi bus            : {100.0 * util['axi']:.1f} %")
+        for i, u in enumerate(util["accelerators"]):
+            lines.append(f"  pl replica {i:<8}: {100.0 * u:.1f} %")
+        lines.append("[queue]")
+        lines.append(f"  mean backlog       : {self.queue['mean_depth']:.3g}")
+        lines.append(f"  peak backlog       : {self.queue['peak_depth']:.0f}")
+        if self.batch_sizes:
+            lines.append(
+                f"  batches            : {self.batch_sizes['count']:.0f} "
+                f"(mean size {self.batch_sizes['mean']:.2f}, max {self.batch_sizes['max']:.0f})"
+            )
+        lines.append("[energy]")
+        lines.append(f"  PS                 : {self.energy['ps_energy_J']:.6g} J")
+        lines.append(f"  PL                 : {self.energy['pl_energy_J']:.6g} J")
+        per_request = self.energy["energy_per_request_J"]
+        lines.append(
+            "  per request        : "
+            + (f"{per_request:.6g} J" if per_request is not None else "n/a (0 completed)")
+        )
+        lines.append(f"  average power      : {self.energy['average_power_W']:.6g} W")
+        lines.append(f"[engine] {self.events_processed} events processed")
+        return "\n".join(lines)

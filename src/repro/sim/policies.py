@@ -1,0 +1,283 @@
+"""Serving policies: how PL block invocations are dispatched onto replicas.
+
+The :class:`Dispatcher` owns the replicated PL accelerators and the queues in
+front of them; a :class:`DispatchPolicy` decides which queue an invocation
+joins and how much work an idle replica grabs at once:
+
+* ``fifo`` — one shared queue, any free replica serves the oldest waiting
+  invocation (work-conserving, the baseline discipline).
+* ``batched`` — the shared queue again, but a free replica drains up to
+  ``batch_size`` invocations in one go and pipelines them: while invocation
+  *i* computes, the bus writes back *i−1*'s output and prefetches *i+1*'s
+  input (double-buffered BRAM).  A batch of one degenerates to ``fifo``
+  exactly, so the policy costs nothing at low load and amortises DMA
+  exposure at high load.
+* ``round_robin`` — invocations are pinned to replicas in rotation
+  (request-independent, cache/BRAM-friendly, but not work-conserving: a
+  pinned invocation waits for *its* replica even if another is idle).
+
+Replica counts can be sized from the chip budget with :func:`max_replicas`:
+the largest number of copies of the scenario's offload-target datapath
+(:class:`~repro.fpga.resources.ResourceEstimator` footprint) that fit the
+board's FPGA alongside each other.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, List, Optional, Sequence
+
+from ..api.evaluator import Evaluator
+from ..api.scenario import Scenario
+from .engine import Event, Simulator
+from .resources import Accelerator, AxiBus, LevelMonitor
+from .workload import PlExecution, Request
+
+__all__ = [
+    "POLICY_NAMES",
+    "Execution",
+    "DispatchPolicy",
+    "FifoPolicy",
+    "BatchedPolicy",
+    "RoundRobinPolicy",
+    "Dispatcher",
+    "make_policy",
+    "max_replicas",
+]
+
+#: Supported dispatch-policy names.
+POLICY_NAMES = ("fifo", "batched", "round_robin")
+
+
+class Execution:
+    """One queued PL block invocation (a request's offloaded segment)."""
+
+    __slots__ = ("request", "plx", "done", "submitted")
+
+    def __init__(self, request: Request, plx: PlExecution, done: Event) -> None:
+        self.request = request
+        self.plx = plx
+        self.done = done
+        self.submitted = 0.0
+
+
+class DispatchPolicy:
+    """Queue-placement and batch-formation strategy (stateless base)."""
+
+    name = "base"
+    batch_size = 1
+
+    def put(self, dispatcher: "Dispatcher", execution: Execution) -> None:
+        dispatcher.shared.append(execution)
+
+    def take(self, dispatcher: "Dispatcher", accelerator: Accelerator) -> List[Execution]:
+        queue = dispatcher.shared
+        batch: List[Execution] = []
+        while queue and len(batch) < self.batch_size:
+            batch.append(queue.popleft())
+        return batch
+
+    def wake_candidates(
+        self, dispatcher: "Dispatcher", execution: Execution
+    ) -> Sequence[Accelerator]:
+        return dispatcher.accelerators
+
+
+class FifoPolicy(DispatchPolicy):
+    """Shared queue, one invocation at a time, any free replica."""
+
+    name = "fifo"
+
+
+class BatchedPolicy(DispatchPolicy):
+    """Shared queue; a free replica drains up to ``batch_size`` invocations.
+
+    Greedy batching: a replica never waits for a batch to fill — it takes
+    whatever is queued (up to the cap), so a lone request is served exactly
+    like ``fifo`` and batches only form when load makes them form.
+    """
+
+    name = "batched"
+
+    def __init__(self, batch_size: int = 4) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be a positive integer (got {batch_size})")
+        self.batch_size = batch_size
+
+
+class RoundRobinPolicy(DispatchPolicy):
+    """Invocations pinned to replicas in rotation (per-replica queues)."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def put(self, dispatcher: "Dispatcher", execution: Execution) -> None:
+        index = self._next % len(dispatcher.accelerators)
+        self._next += 1
+        dispatcher.per_replica[index].append(execution)
+
+    def take(self, dispatcher: "Dispatcher", accelerator: Accelerator) -> List[Execution]:
+        queue = dispatcher.per_replica[accelerator.index]
+        return [queue.popleft()] if queue else []
+
+    def wake_candidates(
+        self, dispatcher: "Dispatcher", execution: Execution
+    ) -> Sequence[Accelerator]:
+        # put() already advanced the counter, so the execution sits in the
+        # previous slot's queue.
+        index = (self._next - 1) % len(dispatcher.accelerators)
+        return (dispatcher.accelerators[index],)
+
+
+def make_policy(name: str, batch_size: int = 4) -> DispatchPolicy:
+    """Construct a policy by name (the CLI/SimScenario entry point)."""
+
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "batched":
+        return BatchedPolicy(batch_size=batch_size)
+    if name == "round_robin":
+        return RoundRobinPolicy()
+    raise ValueError(f"unknown policy '{name}'; expected one of {POLICY_NAMES}")
+
+
+class Dispatcher:
+    """Routes PL invocations to replicas and runs each replica's service loop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: AxiBus,
+        accelerators: Sequence[Accelerator],
+        policy: DispatchPolicy,
+    ) -> None:
+        if not accelerators:
+            raise ValueError("dispatcher needs at least one accelerator replica")
+        self.sim = sim
+        self.bus = bus
+        self.accelerators = list(accelerators)
+        self.policy = policy
+        self.shared: Deque[Execution] = deque()
+        self.per_replica: List[Deque[Execution]] = [deque() for _ in self.accelerators]
+        self.pending = LevelMonitor(sim)
+        self.batch_sizes: List[int] = []
+        self._idle: List[Optional[Event]] = [None] * len(self.accelerators)
+        for acc in self.accelerators:
+            sim.process(self._worker(acc))
+
+    # -- submission --------------------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        return len(self.shared) + sum(len(q) for q in self.per_replica)
+
+    def submit(self, request: Request, plx: PlExecution) -> Event:
+        """Queue one block invocation; the returned event fires when its
+        output feature map is back in PS memory."""
+
+        execution = Execution(request, plx, self.sim.event())
+        execution.submitted = self.sim.now
+        self.policy.put(self, execution)
+        self.pending.set(self.queued)
+        for acc in self.policy.wake_candidates(self, execution):
+            wake = self._idle[acc.index]
+            if wake is not None:
+                self._idle[acc.index] = None
+                wake.succeed(None)
+                break
+        return execution.done
+
+    # -- replica service loop ----------------------------------------------------------
+
+    def _worker(self, acc: Accelerator) -> Generator:
+        while True:
+            batch = self.policy.take(self, acc)
+            if not batch:
+                wake = self.sim.event()
+                self._idle[acc.index] = wake
+                yield wake
+                continue
+            self.pending.set(self.queued)
+            self.batch_sizes.append(len(batch))
+            for execution in batch:
+                execution.request.pl_wait += self.sim.now - execution.submitted
+            acc.busy.set(1)
+            yield from self._serve(acc, batch)
+            acc.busy.set(0)
+            acc.served += len(batch)
+
+    def _serve(self, acc: Accelerator, batch: List[Execution]) -> Generator:
+        """Serve a batch back-to-back with double-buffered DMA.
+
+        While invocation *i* computes, a concurrent DMA process writes back
+        invocation *i−1*'s output and prefetches invocation *i+1*'s input; an
+        invocation's completion event fires when its *output* transfer lands.
+        A batch of one reduces to the strictly sequential
+        (DMA in, compute, DMA out) transaction of the analytic model.
+        """
+
+        sim = self.sim
+        yield from self._transfer_in(batch[0])
+        previous: Optional[Execution] = None
+        for i, execution in enumerate(batch):
+            upcoming = batch[i + 1] if i + 1 < len(batch) else None
+            compute = sim.process(self._compute(execution))
+            overlap = sim.process(self._overlap_dma(previous, upcoming))
+            yield sim.all_of((compute, overlap))
+            previous = execution
+        yield from self._transfer_out(previous)
+        previous.done.succeed(None)
+
+    def _compute(self, execution: Execution) -> Generator:
+        yield self.sim.timeout(execution.plx.compute_seconds)
+
+    # Bursts are priced with the execution's *stored* transfer times (from
+    # the model that built the service plan), so the simulated DMA always
+    # matches the analytic (DMA in + compute + DMA out) decomposition even
+    # under a non-default transfer model.
+
+    def _transfer_in(self, execution: Execution) -> Generator:
+        yield from self.bus.transfer(
+            execution.plx.words_in, execution.plx.transfer_in_seconds
+        )
+
+    def _transfer_out(self, execution: Execution) -> Generator:
+        yield from self.bus.transfer(
+            execution.plx.words_out, execution.plx.transfer_out_seconds
+        )
+
+    def _overlap_dma(
+        self, finished: Optional[Execution], upcoming: Optional[Execution]
+    ) -> Generator:
+        if finished is not None:
+            yield from self._transfer_out(finished)
+            finished.done.succeed(None)
+        if upcoming is not None:
+            yield from self._transfer_in(upcoming)
+
+
+def max_replicas(
+    scenario: Scenario,
+    evaluator: Optional[Evaluator] = None,
+    limit: int = 64,
+) -> int:
+    """How many copies of the scenario's PL datapath fit the board's FPGA.
+
+    Uses the same per-instance :class:`~repro.fpga.device.ResourceVector`
+    the offload planner prices (all offload targets at the scenario's
+    ``n_units`` and Q-format) and packs copies until the device overflows.
+    Scenarios with no offload target get one (idle) replica.
+    """
+
+    ev = evaluator if evaluator is not None else Evaluator()
+    decision = ev.offload_decision(scenario)
+    if not decision.targets:
+        return 1
+    device = scenario.board_spec.fpga
+    per_replica = decision.resources
+    fit = 0
+    while fit < limit and per_replica.scale(fit + 1).fits(device):
+        fit += 1
+    return max(1, fit)

@@ -1,0 +1,189 @@
+"""Resource primitives of the PS + PL serving system.
+
+Transaction-level models of the pieces requests contend for:
+
+* :class:`Resource` — a counted FIFO resource (the PS core pool is one, with
+  ``capacity`` = cores).  Grants are strictly first-come-first-served, with
+  ties broken by submission order, so simulations are deterministic.
+* :class:`AxiBus` — the PS<->PL interconnect.  Each DMA burst occupies one of
+  ``channels`` for the transfer time given by the *same*
+  :class:`~repro.fpga.axi.AxiTransferModel` the analytic latency model uses,
+  so a contention-free simulation reproduces the analytic numbers exactly
+  and a loaded one shows genuine burst-level queueing.
+* :class:`Accelerator` — one replicated PL ODEBlock instance.  It does not
+  queue by itself (the :class:`~repro.sim.policies.Dispatcher` owns the
+  queues); it carries the replica's resource footprint (for the energy
+  model) and its busy-time accounting.
+
+Every primitive keeps a :class:`LevelMonitor` — a time-weighted integral of
+its occupancy/queue depth — which is what :mod:`repro.sim.metrics` turns into
+utilisation and queue-depth statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generator, Optional
+
+from ..fpga.axi import AxiTransferModel
+from ..fpga.device import ResourceVector
+from .engine import Event, Simulator
+
+__all__ = ["LevelMonitor", "Resource", "AxiBus", "Accelerator"]
+
+
+class LevelMonitor:
+    """Time-weighted statistics of an integer level (occupancy, queue depth)."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._level = 0
+        self._since = sim.now
+        self.integral = 0.0
+        self.peak = 0
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def set(self, level: int) -> None:
+        now = self.sim.now
+        self.integral += self._level * (now - self._since)
+        self._since = now
+        self._level = level
+        self.peak = max(self.peak, level)
+
+    def add(self, delta: int) -> None:
+        self.set(self._level + delta)
+
+    def finalize(self, horizon: Optional[float] = None) -> float:
+        """Close the integral at ``horizon`` (default: now) and return it."""
+
+        end = self.sim.now if horizon is None else horizon
+        self.integral += self._level * (end - self._since)
+        self._since = end
+        return self.integral
+
+    def mean(self, horizon: float) -> float:
+        return self.integral / horizon if horizon > 0 else 0.0
+
+
+class Resource:
+    """A counted resource with a strict-FIFO wait queue."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be a positive integer (got {capacity})")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.users = 0
+        self._waiting: Deque[Event] = deque()
+        self.busy = LevelMonitor(sim)
+        self.queue_depth = LevelMonitor(sim)
+
+    def request(self) -> Event:
+        """An event that fires when one unit of the resource is granted."""
+
+        grant = self.sim.event()
+        if self.users < self.capacity:
+            self.users += 1
+            self.busy.set(self.users)
+            grant.succeed(None)
+        else:
+            self._waiting.append(grant)
+            self.queue_depth.set(len(self._waiting))
+        return grant
+
+    def release(self) -> None:
+        """Return one unit; the longest-waiting request (if any) is granted."""
+
+        if self.users <= 0:
+            raise RuntimeError(f"release of idle resource '{self.name}'")
+        if self._waiting:
+            # Hand the unit straight to the next waiter: occupancy stays
+            # constant and the grant fires at the current time, after any
+            # event already queued "now" (FIFO tie-break).
+            grant = self._waiting.popleft()
+            self.queue_depth.set(len(self._waiting))
+            grant.succeed(None)
+        else:
+            self.users -= 1
+            self.busy.set(self.users)
+
+    def use(self, seconds: float) -> Generator:
+        """Process fragment: acquire one unit, hold it, release it."""
+
+        yield self.request()
+        yield self.sim.timeout(seconds)
+        self.release()
+
+    def utilization(self, horizon: float) -> float:
+        """Mean occupancy over ``horizon``, as a fraction of capacity."""
+
+        if horizon <= 0:
+            return 0.0
+        return self.busy.mean(horizon) / self.capacity
+
+
+class AxiBus(Resource):
+    """The PS<->PL AXI interconnect: ``channels`` concurrent DMA bursts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channels: int = 1,
+        model: Optional[AxiTransferModel] = None,
+        name: str = "axi",
+    ) -> None:
+        super().__init__(sim, capacity=channels, name=name)
+        self.model = model or AxiTransferModel()
+        self.words_moved = 0
+        self.transfers = 0
+
+    def transfer(self, words: int, seconds: Optional[float] = None) -> Generator:
+        """Process fragment: move ``words`` over the bus (one DMA burst).
+
+        ``seconds`` lets the caller price the burst with the model that built
+        its service plan (the dispatcher passes the :class:`PlExecution`'s
+        stored transfer times, keeping the simulated DMA and the analytic
+        decomposition consistent by construction); by default the bus's own
+        transfer model is used.  Zero-word transfers complete immediately
+        without touching the bus, mirroring
+        :func:`repro.fpga.axi.transfer_cycles_kernel`.
+        """
+
+        if words == 0:
+            return
+        self.words_moved += words
+        self.transfers += 1
+        yield from self.use(
+            self.model.transfer_seconds(words) if seconds is None else seconds
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "channels": self.capacity,
+            "transfers": self.transfers,
+            "words_moved": self.words_moved,
+        }
+
+
+class Accelerator:
+    """One PL ODEBlock replica (busy accounting + resource footprint)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        index: int,
+        resources: Optional[ResourceVector] = None,
+    ) -> None:
+        self.sim = sim
+        self.index = index
+        self.name = f"pl{index}"
+        self.resources = resources or ResourceVector()
+        self.busy = LevelMonitor(sim)
+        self.served = 0
+
+    def utilization(self, horizon: float) -> float:
+        return self.busy.mean(horizon) if horizon > 0 else 0.0

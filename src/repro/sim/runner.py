@@ -1,0 +1,241 @@
+"""The simulation driver: :func:`simulate` turns a :class:`SimScenario` into a
+:class:`~repro.sim.metrics.SimReport`.
+
+One call wires the whole transaction-level system together:
+
+1. compile the analytic models into per-scenario service plans
+   (:func:`~repro.sim.workload.build_service_plan`),
+2. materialise the arrival process and (optionally) the per-request
+   architecture mix,
+3. instantiate the resources — PS core pool, AXI bus, ``replicas`` PL
+   accelerator instances behind a policy-driven
+   :class:`~repro.sim.policies.Dispatcher`,
+4. run every request through its plan (software phases hold a PS core;
+   offloaded block invocations queue at the dispatcher and move their
+   feature maps over the shared bus), and
+5. condense timestamps and occupancy integrals into the report.
+
+With one request, one replica and the FIFO policy nothing ever queues, so
+the measured latency equals the analytic ``total_w_pl_s`` — the differential
+tests pin that within 1 % over a whole scenario grid.  Everything beyond
+(queueing delay, bus contention, batching gains, replica scaling) is the new
+ground the simulator opens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api.evaluator import Evaluator
+from ..api.scenario import Scenario
+from ..fpga.device import ResourceVector
+from .engine import Simulator
+from .metrics import SimReport, energy_summary, latency_stats
+from .policies import Dispatcher, make_policy, max_replicas
+from .resources import Accelerator, AxiBus, Resource
+from .scenario import SimScenario
+from .workload import (
+    PsSegment,
+    Request,
+    ServicePlan,
+    arrival_times,
+    build_service_plan,
+    sample_mix,
+)
+
+__all__ = ["simulate"]
+
+
+def _as_sim_scenario(scenario: Scenario) -> SimScenario:
+    """Promote a plain scenario to a single-request simulation scenario."""
+
+    if isinstance(scenario, SimScenario):
+        return scenario
+    return SimScenario(
+        arrival="deterministic",
+        n_requests=1,
+        **scenario.as_dict(),
+    )
+
+
+def _request_process(
+    sim: Simulator,
+    request: Request,
+    plan: ServicePlan,
+    ps: Resource,
+    dispatcher: Dispatcher,
+    completed: List[Request],
+) -> Generator:
+    """One request's life: arrive, walk the plan, record completion."""
+
+    if request.arrival > 0:
+        yield sim.timeout(request.arrival)
+    for segment in plan.segments:
+        if isinstance(segment, PsSegment):
+            asked = sim.now
+            yield ps.request()
+            request.ps_wait += sim.now - asked
+            yield sim.timeout(segment.seconds)
+            ps.release()
+        else:
+            yield dispatcher.submit(request, segment)
+    request.completed = sim.now
+    completed.append(request)
+
+
+def simulate(
+    scenario: Scenario,
+    evaluator: Optional[Evaluator] = None,
+    mix: Optional[Sequence[Tuple[Scenario, float]]] = None,
+) -> SimReport:
+    """Run one serving simulation and summarise it.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`SimScenario` (or a plain :class:`Scenario`, promoted to a
+        single-request deterministic run).  ``replicas=0`` auto-sizes the
+        replica count from the device resource budget.
+    evaluator:
+        An evaluator to reuse for the analytic service times (and to warm);
+        a fresh one otherwise.
+    mix:
+        Optional weighted per-request architecture mix, ``[(scenario,
+        weight), ...]``.  Mixed scenarios share the simulated hardware, so
+        they must agree on board, clock, MAC units and Q-format with the
+        main scenario (the replicas are physical datapaths).
+    """
+
+    sim_scenario = _as_sim_scenario(scenario)
+    ev = evaluator if evaluator is not None else Evaluator()
+
+    # -- replica sizing and per-replica footprint (energy model) ----------------------
+    design = sim_scenario.design_point
+    decision = ev.offload_decision(design)
+    n_replicas = sim_scenario.replicas
+    if n_replicas == 0:
+        n_replicas = max_replicas(design, evaluator=ev)
+    replica_resources: ResourceVector = (
+        decision.resources if decision.targets else ResourceVector()
+    )
+
+    # -- workload ---------------------------------------------------------------------
+    # Rate-driven arrivals with no explicit bound default to 100 requests;
+    # trace- and duration-bounded runs are never silently capped.
+    n_requests = sim_scenario.n_requests
+    if n_requests is None and sim_scenario.arrival != "trace" and sim_scenario.duration_s is None:
+        n_requests = 100
+    rng = np.random.default_rng(sim_scenario.seed)
+    arrivals = arrival_times(
+        sim_scenario.arrival,
+        rate_hz=sim_scenario.arrival_rate_hz,
+        n_requests=n_requests,
+        duration_s=sim_scenario.duration_s,
+        rng=rng,
+        trace=sim_scenario.trace,
+    )
+    if mix is not None:
+        for candidate, _ in mix:
+            _check_mix_compatible(design, candidate)
+        per_request = sample_mix(mix, len(arrivals), rng=rng)
+    else:
+        per_request = [design] * len(arrivals)
+
+    # The main design point always gets a plan (even when the mix routes no
+    # request to it): its no-load service time is the report's baseline.
+    plans: Dict[Scenario, ServicePlan] = {design: build_service_plan(design, evaluator=ev)}
+    for point in per_request:
+        if point not in plans:
+            plans[point] = build_service_plan(point, evaluator=ev)
+
+    # -- system -----------------------------------------------------------------------
+    sim = Simulator()
+    ps = Resource(sim, capacity=sim_scenario.ps_cores, name="ps")
+    bus = AxiBus(sim, channels=sim_scenario.dma_channels)
+    accelerators = [Accelerator(sim, i, replica_resources) for i in range(n_replicas)]
+    dispatcher = Dispatcher(
+        sim, bus, accelerators, make_policy(sim_scenario.policy, sim_scenario.batch_size)
+    )
+
+    completed: List[Request] = []
+    requests = [
+        Request(index=i, arrival=t, scenario=point)
+        for i, (t, point) in enumerate(zip(arrivals, per_request))
+    ]
+    for request in requests:
+        sim.process(
+            _request_process(
+                sim, request, plans[request.scenario], ps, dispatcher, completed
+            )
+        )
+    sim.run()
+
+    # -- summary ----------------------------------------------------------------------
+    horizon = sim.now
+    ps_busy = ps.busy.finalize(horizon)
+    dispatcher.pending.finalize(horizon)
+    bus.busy.finalize(horizon)
+    for acc in accelerators:
+        acc.busy.finalize(horizon)
+    latencies = [r.latency for r in completed]
+    waits = [r.total_wait for r in completed]
+    batch_sizes: Dict[str, float] = {}
+    if dispatcher.batch_sizes:
+        sizes = np.asarray(dispatcher.batch_sizes, dtype=np.float64)
+        batch_sizes = {
+            "count": float(sizes.size),
+            "mean": float(sizes.mean()),
+            "max": float(sizes.max()),
+        }
+
+    # The report carries the *resolved* replica count (``replicas=0`` asked
+    # for auto-sizing; readers want the number that actually ran).
+    scenario_dict = sim_scenario.as_dict()
+    scenario_dict["replicas"] = n_replicas
+
+    return SimReport(
+        scenario=scenario_dict,
+        requests={"offered": len(requests), "completed": len(completed)},
+        horizon_s=horizon,
+        throughput_rps=len(completed) / horizon if horizon > 0 else 0.0,
+        service_s=plans[design].total_seconds,
+        latency=latency_stats(latencies),
+        wait=latency_stats(waits),
+        utilization={
+            "ps": ps.utilization(horizon),
+            "axi": bus.utilization(horizon),
+            "accelerators": [acc.utilization(horizon) for acc in accelerators],
+            "accelerator_mean": (
+                sum(acc.utilization(horizon) for acc in accelerators) / n_replicas
+            ),
+        },
+        queue={
+            "mean_depth": dispatcher.pending.mean(horizon),
+            "peak_depth": float(dispatcher.pending.peak),
+        },
+        energy=energy_summary(
+            horizon_s=horizon,
+            ps_busy_core_seconds=ps_busy,
+            ps_cores=sim_scenario.ps_cores,
+            replica_resources=replica_resources,
+            n_replicas=n_replicas,
+            completed=len(completed),
+        ),
+        bus=bus.as_dict(),
+        events_processed=sim.events_processed,
+        batch_sizes=batch_sizes,
+    )
+
+
+def _check_mix_compatible(design: Scenario, candidate: Scenario) -> None:
+    """Mixed requests share the physical PL datapath; hardware knobs must agree."""
+
+    for knob in ("board", "pl_clock_hz", "n_units", "word_length", "fraction_bits"):
+        if getattr(candidate, knob) != getattr(design, knob):
+            raise ValueError(
+                f"mix scenario {candidate.full_name} differs from the main scenario "
+                f"on '{knob}' ({getattr(candidate, knob)!r} != {getattr(design, knob)!r}); "
+                "mixed requests share the simulated hardware"
+            )

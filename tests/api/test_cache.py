@@ -1,0 +1,89 @@
+"""Tests of :class:`ResultCache` introspection (stats) and maintenance (prune)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import Evaluator, ResultCache, Scenario, scenario_grid
+from repro.api.cache import scenario_key
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _payload(scenario: Scenario) -> dict:
+    return Evaluator().evaluate(scenario).as_dict()
+
+
+class TestStats:
+    def test_counts_hits_and_misses(self, cache):
+        scenario = Scenario(model="rODENet-3", depth=20)
+        assert cache.get(scenario) is None
+        cache.put(scenario, _payload(scenario))
+        assert cache.get(scenario) is not None
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+
+    def test_fresh_cache_stats_are_zero(self, cache):
+        stats = cache.stats()
+        assert stats == {"hits": 0, "misses": 0, "hit_rate": 0.0, "entries": 0, "bytes": 0}
+
+    def test_corrupt_entry_counts_as_miss(self, cache):
+        scenario = Scenario(model="rODENet-3", depth=20)
+        cache.put(scenario, _payload(scenario))
+        for path in cache.root.glob("*/*.json"):
+            path.write_text("{ truncated", encoding="utf-8")
+        assert cache.get(scenario) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_bytes_tracks_disk_footprint(self, cache):
+        grid = scenario_grid(models=("rODENet-3",), depths=(20, 56))
+        for scenario in grid:
+            cache.put(scenario, _payload(scenario))
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        on_disk = sum(p.stat().st_size for p in cache.root.glob("*/*.json"))
+        assert stats["bytes"] == on_disk
+
+
+class TestPrune:
+    def test_prunes_oldest_first(self, cache):
+        grid = scenario_grid(models=("rODENet-3",), depths=(20, 32, 44, 56))
+        for i, scenario in enumerate(grid):
+            cache.put(scenario, _payload(scenario))
+        # Make the ages unambiguous regardless of filesystem timestamp
+        # granularity: older scenarios get strictly older mtimes.
+        for i, scenario in enumerate(grid):
+            path = cache._path(scenario_key(scenario))
+            os.utime(path, (1000.0 + i, 1000.0 + i))
+        removed = cache.prune(max_entries=2)
+        assert removed == 2
+        assert len(cache) == 2
+        # The newest two entries (depths 44, 56) survive.
+        assert cache.get(grid[2]) is not None
+        assert cache.get(grid[3]) is not None
+        assert cache.get(grid[0]) is None
+
+    def test_prune_noop_when_under_limit(self, cache):
+        scenario = Scenario(model="rODENet-3", depth=20)
+        cache.put(scenario, _payload(scenario))
+        assert cache.prune(max_entries=5) == 0
+        assert len(cache) == 1
+
+    def test_prune_to_zero_empties_the_cache(self, cache):
+        scenario = Scenario(model="rODENet-3", depth=20)
+        cache.put(scenario, _payload(scenario))
+        assert cache.prune(max_entries=0) == 1
+        assert len(cache) == 0
+
+    def test_negative_limit_rejected(self, cache):
+        with pytest.raises(ValueError, match="non-negative"):
+            cache.prune(max_entries=-1)

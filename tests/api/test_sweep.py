@@ -67,13 +67,27 @@ def test_sweep_error_names_the_failing_scenario():
     assert isinstance(excinfo.value.__cause__, RuntimeError)
     # The message carries the full design point, not just the name.
     assert f"'n_units': {poison.n_units}" in str(excinfo.value)
+    # ... and the position in the grid, for resuming/bisecting long sweeps.
+    assert excinfo.value.index == 2
+    assert "scenario #2" in str(excinfo.value)
 
 
 def test_sweep_error_surfaces_from_worker_threads():
     scenarios = scenario_grid(**GRID)
     poison = scenarios[-1]
-    with pytest.raises(SweepError, match=poison.full_name):
+    with pytest.raises(SweepError, match=poison.full_name) as excinfo:
         sweep(scenarios, evaluator=_ExplodingEvaluator(poison), workers=4)
+    assert excinfo.value.index == len(scenarios) - 1
+
+
+def test_sweep_error_pickles_with_index():
+    import pickle
+
+    err = SweepError(Scenario(), RuntimeError("boom"), index=7)
+    clone = pickle.loads(pickle.dumps(err))
+    assert clone.index == 7
+    assert clone.scenario == err.scenario
+    assert "scenario #7" in str(clone)
 
 
 def test_csv_output_one_row_per_scenario():

@@ -1,0 +1,176 @@
+"""Differential cross-validation: simulator vs the analytic latency model.
+
+The acceptance bar of the subsystem: with one request, one replica and the
+FIFO policy nothing ever queues, so the simulated end-to-end latency must
+reproduce the analytic ``total_w_pl_s`` within 1 % — here asserted to a far
+tighter tolerance over a 24-scenario grid (6 models x 4 depths).  Beyond the
+contention-free identity, the multi-request scenarios are sanity-checked for
+the queueing behaviour closed-form models cannot express.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Evaluator, Scenario, scenario_grid
+from repro.sim import SimScenario, simulate
+
+#: 6 models x 4 depths = 24 design points (> the 20 the issue requires).
+GRID = scenario_grid(
+    models=("rODENet-1", "rODENet-2", "rODENet-1+2", "rODENet-3", "ODENet-3", "Hybrid-3"),
+    depths=(20, 32, 44, 56),
+)
+
+_EVALUATOR = Evaluator()
+
+
+@pytest.mark.parametrize("scenario", GRID, ids=lambda s: s.full_name)
+def test_single_request_latency_matches_analytic(scenario: Scenario):
+    analytic = _EVALUATOR.evaluate(scenario).timing["total_w_pl_s"]
+    report = simulate(
+        SimScenario(
+            arrival="deterministic",
+            n_requests=1,
+            replicas=1,
+            policy="fifo",
+            **scenario.as_dict(),
+        ),
+        evaluator=_EVALUATOR,
+    )
+    assert report.requests["completed"] == 1
+    assert report.latency.mean == pytest.approx(analytic, rel=0.01)
+    # The agreement is by construction much tighter than the 1% bar.
+    assert report.latency.mean == pytest.approx(analytic, rel=1e-9)
+
+
+def test_unbounded_rate_driven_run_defaults_to_100_requests():
+    report = simulate(
+        SimScenario(
+            model="rODENet-3", depth=20, arrival="deterministic", arrival_rate_hz=500.0
+        ),
+        evaluator=_EVALUATOR,
+    )
+    assert report.requests["offered"] == 100
+
+
+def test_replace_with_duration_unbinds_the_request_count():
+    base = SimScenario(
+        model="rODENet-3", depth=20, arrival="deterministic", arrival_rate_hz=20.0
+    )
+    report = simulate(base.replace(duration_s=10.0), evaluator=_EVALUATOR)
+    # 20 req/s for 10 s: the defaulted 100-request cap must not stick.
+    assert report.requests["offered"] == 201
+
+
+def test_plain_scenario_is_promoted_to_single_request_run():
+    scenario = Scenario(model="rODENet-3", depth=56)
+    report = simulate(scenario, evaluator=_EVALUATOR)
+    analytic = _EVALUATOR.evaluate(scenario).timing["total_w_pl_s"]
+    assert report.latency.mean == pytest.approx(analytic, rel=1e-9)
+
+
+def test_sequential_arrivals_have_no_queueing_inflation():
+    """Arrivals slower than the service time: every request sees base latency."""
+
+    scenario = Scenario(model="rODENet-3", depth=20)
+    analytic = _EVALUATOR.evaluate(scenario).timing["total_w_pl_s"]
+    report = simulate(
+        SimScenario(
+            arrival="deterministic",
+            arrival_rate_hz=1.0 / (2 * analytic),
+            n_requests=8,
+            replicas=1,
+            **scenario.as_dict(),
+        ),
+        evaluator=_EVALUATOR,
+    )
+    assert report.latency.maximum == pytest.approx(analytic, rel=1e-9)
+    assert report.wait.maximum == pytest.approx(0.0, abs=1e-12)
+
+
+class TestMultiRequestBehaviour:
+    """Queueing effects the closed-form model cannot express."""
+
+    def test_latency_grows_with_offered_load(self):
+        def p95_at(rate):
+            return simulate(
+                SimScenario(
+                    model="rODENet-3",
+                    depth=20,
+                    arrival="poisson",
+                    arrival_rate_hz=rate,
+                    n_requests=60,
+                    replicas=1,
+                    seed=9,
+                ),
+                evaluator=_EVALUATOR,
+            ).latency.percentiles[95]
+
+        assert p95_at(6.0) > 1.5 * p95_at(0.5)
+
+    def test_conservation_all_offered_requests_complete(self):
+        report = simulate(
+            SimScenario(
+                model="rODENet-3",
+                depth=56,
+                arrival="poisson",
+                arrival_rate_hz=4.0,
+                n_requests=40,
+                replicas=2,
+                policy="batched",
+                seed=2,
+            ),
+            evaluator=_EVALUATOR,
+        )
+        assert report.requests["completed"] == report.requests["offered"] == 40
+
+    def test_saturated_throughput_is_bounded_by_service_capacity(self):
+        scenario = Scenario(model="rODENet-3", depth=20)
+        report = simulate(
+            SimScenario(
+                arrival="poisson",
+                arrival_rate_hz=1000.0,
+                n_requests=50,
+                replicas=1,
+                seed=1,
+                **scenario.as_dict(),
+            ),
+            evaluator=_EVALUATOR,
+        )
+        # The PS core is the bottleneck: near-saturated (not exactly 1.0 —
+        # the tail requests drain through their PL-only phases), and the
+        # pipelined throughput exceeds the single-request rate but stays
+        # bounded by the service capacity.
+        assert report.utilization["ps"] > 0.75
+        assert 1.0 / report.service_s < report.throughput_rps <= 2.0 / report.service_s
+
+    def test_mixed_traffic_uses_per_scenario_service_times(self):
+        base = Scenario(model="rODENet-3", depth=56)
+        light = base.replace(depth=20)
+        report = simulate(
+            SimScenario(
+                arrival="deterministic",
+                arrival_rate_hz=0.2,
+                n_requests=30,
+                replicas=1,
+                seed=3,
+                **base.as_dict(),
+            ),
+            evaluator=_EVALUATOR,
+            mix=[(base, 1.0), (light, 1.0)],
+        )
+        heavy_s = _EVALUATOR.evaluate(base).timing["total_w_pl_s"]
+        light_s = _EVALUATOR.evaluate(light).timing["total_w_pl_s"]
+        # Uncongested run: latencies are exactly the two service times.
+        assert report.latency.minimum == pytest.approx(light_s, rel=1e-9)
+        assert report.latency.maximum == pytest.approx(heavy_s, rel=1e-9)
+
+    def test_mix_must_share_the_hardware(self):
+        base = Scenario(model="rODENet-3", depth=56, n_units=16)
+        other = base.replace(n_units=8)
+        with pytest.raises(ValueError, match="n_units"):
+            simulate(
+                SimScenario(arrival="deterministic", n_requests=4, **base.as_dict()),
+                evaluator=_EVALUATOR,
+                mix=[(base, 1.0), (other, 1.0)],
+            )
