@@ -26,6 +26,14 @@ to two orders of magnitude faster):
 >>> len(table.pareto_front("total_w_pl_s", "bram"))  # latency/BRAM trade-off
 1
 
+The numerical axis — how far each fixed-point format drifts from the float
+mathematics — runs through :func:`accuracy_sweep`, which measures batched
+multi-image forward passes of the bit-accurate PL datapath per Q-format and
+reports the accuracy/latency/BRAM frontier:
+
+>>> from repro.api import accuracy_sweep
+>>> frontier = accuracy_sweep("layer3_2", images=4).pareto_front()
+
 Multi-request serving scenarios (arrival processes, replicated PL
 accelerators, dispatch policies) run through the discrete-event simulator:
 
@@ -39,6 +47,7 @@ Everything the CLI, the examples and the benchmarks print is derived from
 these objects; see the package README for the quickstart.
 """
 
+from .accuracy import AccuracyPoint, AccuracySweepResult, accuracy_sweep
 from .batch import BatchResult, pareto_indices, sweep_batch
 from .cache import ResultCache
 from .evaluator import TRAINING_PROJECTION_KEYS, Evaluator
@@ -77,6 +86,9 @@ __all__ = [
     "BatchResult",
     "ResultCache",
     "pareto_indices",
+    "accuracy_sweep",
+    "AccuracySweepResult",
+    "AccuracyPoint",
     "results_to_csv",
     "results_to_json",
     "results_to_records",

@@ -1,0 +1,329 @@
+"""Accuracy-vs-Q-format sweeps over the bit-accurate PL datapath.
+
+The paper's central fixed-point design question (footnote 2: narrower words
+fit more layers in BRAM — at what accuracy cost?) needs the *numerical* axis
+the analytic models cannot provide: how far does the quantised conv/BN/ReLU
+pipeline drift from the float mathematics at each word length?
+
+:func:`accuracy_sweep` answers it at batch-engine throughput.  For every
+requested Q-format it quantises one image batch **once**, runs the batched
+:class:`~repro.fpga.odeblock_hw.HardwareODEBlock` forward pass (bit-identical
+to N single-image invocations, enforced by
+``tests/fpga/test_batched_odeblock.py``) and measures the deviation against a
+float64 reference of the same mathematics.  Each row then carries the three
+axes of the trade-off:
+
+* **fidelity** — max/RMS error, SQNR, the saturation fraction, and the
+  analytic worst-case bound of :mod:`repro.fixedpoint.errors` instantiated
+  with the measured reference magnitudes;
+* **cost** — per-image latency (cycle model + AXI transfer) and the BRAM
+  plan at that word length (closed-form kernels);
+* **feasibility** — device fit and timing closure of the conv_xN design.
+
+:meth:`AccuracySweepResult.pareto_front` extracts the latency/error (or any
+other two-column) frontier, mirroring :class:`repro.api.batch.BatchResult`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..fixedpoint.errors import error_report, odeblock_error_bound
+from ..fixedpoint.qformat import QFormat
+from ..fpga.axi import AxiTransferModel
+from ..fpga.bram import bram_fits_kernel, bram_tiles_kernel
+from ..fpga.cycles import OdeBlockCycleModel
+from ..fpga.device import BoardSpec, PYNQ_Z2
+from ..fpga.geometry import BlockGeometry, block_geometry
+from ..fpga.odeblock_hw import BlockWeights, HardwareODEBlock
+from ..fpga.timing import TimingModel
+from ..nn.im2col import conv_output_size, im2col
+from .batch import pareto_indices
+
+__all__ = ["AccuracyPoint", "AccuracySweepResult", "accuracy_sweep", "DEFAULT_FORMAT_LADDER"]
+
+
+#: Word-length ladder swept by default: the paper's Q20 production format,
+#: the footnote-2 reduced formats, and intermediate points that make the
+#: accuracy/latency frontier visible.
+DEFAULT_FORMAT_LADDER: Tuple[Tuple[int, int], ...] = (
+    (32, 20), (24, 12), (20, 10), (16, 8), (12, 6), (10, 5), (8, 4),
+)
+
+BN_EPS = 1e-5
+
+FormatLike = Union[QFormat, Tuple[int, int]]
+
+
+def _as_qformat(fmt: FormatLike) -> QFormat:
+    if isinstance(fmt, QFormat):
+        return fmt
+    word_length, fraction_bits = fmt
+    return QFormat(int(word_length), int(fraction_bits))
+
+
+# -- the float64 reference pipeline ------------------------------------------------------
+
+
+def _float_conv(x: np.ndarray, weight: np.ndarray, stride: int = 1, padding: int = 1) -> np.ndarray:
+    """Float64 batched 3x3 convolution (same im2col lowering as the datapath)."""
+
+    n, _, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    cols = im2col(x, kh, kw, stride, padding)
+    out = cols @ weight.reshape(c_out, -1).T
+    return out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+
+
+def _float_bn(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray) -> np.ndarray:
+    """Float64 per-image batch normalisation (the board's dynamic statistics)."""
+
+    mean = x.mean(axis=(2, 3), keepdims=True)
+    var = x.var(axis=(2, 3), keepdims=True)
+    normalized = (x - mean) / np.sqrt(var + BN_EPS)
+    return gamma[None, :, None, None] * normalized + beta[None, :, None, None]
+
+
+def _float_forward(weights: BlockWeights, z: np.ndarray, stride: int) -> Dict[str, np.ndarray]:
+    """The float reference pipeline, stage by stage (for the analytic bound)."""
+
+    a1 = _float_conv(z, weights.conv1_weight, stride=stride)
+    bn1 = _float_bn(a1, weights.bn1_gamma, weights.bn1_beta)
+    hidden = np.maximum(bn1, 0.0)
+    a2 = _float_conv(hidden, weights.conv2_weight)
+    bn2 = _float_bn(a2, weights.bn2_gamma, weights.bn2_beta)
+    return {"conv1": a1, "bn1": bn1, "hidden": hidden, "conv2": a2, "output": bn2}
+
+
+def _bn_magnitudes(x: np.ndarray) -> Dict[str, np.ndarray]:
+    """Per-channel centered amplitude and sigma floor across the whole batch."""
+
+    mean = x.mean(axis=(2, 3), keepdims=True)
+    var = x.var(axis=(2, 3))
+    return {
+        "centered_max": np.abs(x - mean).max(axis=(0, 2, 3)),
+        "sigma_min": np.sqrt(var + BN_EPS).min(axis=0),
+    }
+
+
+def _analytic_bound(fmt: QFormat, weights: BlockWeights, z: np.ndarray, stages: Dict) -> float:
+    """The composed worst-case bound, instantiated from reference magnitudes.
+
+    Valid (and asserted by tests) only while the signal stays representable;
+    under saturation the measured error may exceed it — the row's
+    ``overflow_fraction`` says which regime a point is in.
+    """
+
+    k2 = weights.conv1_weight.shape[2] * weights.conv1_weight.shape[3]
+    bn1_mag = _bn_magnitudes(stages["conv1"])
+    bn2_mag = _bn_magnitudes(stages["conv2"])
+    return odeblock_error_bound(
+        fmt,
+        fan_in1=weights.conv1_weight.shape[1] * k2,
+        weight1_max=float(np.max(np.abs(weights.conv1_weight))),
+        input_max=float(np.max(np.abs(z))),
+        centered1_max=bn1_mag["centered_max"],
+        sigma1_min=bn1_mag["sigma_min"],
+        fan_in2=weights.conv2_weight.shape[1] * k2,
+        weight2_max=float(np.max(np.abs(weights.conv2_weight))),
+        hidden_max=float(np.max(np.abs(stages["hidden"]))),
+        centered2_max=bn2_mag["centered_max"],
+        sigma2_min=bn2_mag["sigma_min"],
+        gamma1_max=float(np.max(np.abs(weights.bn1_gamma))),
+        gamma2_max=float(np.max(np.abs(weights.bn2_gamma))),
+    ).total
+
+
+# -- result container --------------------------------------------------------------------
+
+
+#: Flat column order of one sweep row (CSV header order).
+COLUMNS: Tuple[str, ...] = (
+    "block", "word_length", "fraction_bits", "qformat", "n_units",
+    "max_abs_error", "rms_error", "sqnr_db", "error_bound", "overflow_fraction",
+    "latency_s", "compute_s", "transfer_s", "images_per_s",
+    "bram_tiles", "fits_device", "fmax_mhz", "meets_timing",
+)
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    """One (Q-format, n_units) point of the accuracy/latency trade-off."""
+
+    block: str
+    word_length: int
+    fraction_bits: int
+    qformat: str
+    n_units: int
+    max_abs_error: float
+    rms_error: float
+    sqnr_db: float
+    error_bound: float
+    overflow_fraction: float
+    latency_s: float
+    compute_s: float
+    transfer_s: float
+    images_per_s: float
+    bram_tiles: int
+    fits_device: bool
+    fmax_mhz: float
+    meets_timing: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {key: getattr(self, key) for key in COLUMNS}
+
+
+class AccuracySweepResult:
+    """Rows of an accuracy-vs-format sweep, with CSV/JSON/Pareto views."""
+
+    def __init__(self, points: Sequence[AccuracyPoint], images: int, seed: int) -> None:
+        self.points: List[AccuracyPoint] = list(points)
+        self.images = images
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def records(self) -> List[Dict[str, object]]:
+        return [p.as_dict() for p in self.points]
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in COLUMNS:
+            raise KeyError(f"unknown column '{name}'; known: {COLUMNS}")
+        return np.asarray([getattr(p, name) for p in self.points])
+
+    def to_csv(self) -> str:
+        if not self.points:
+            return ""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(list(COLUMNS))
+        for point in self.points:
+            writer.writerow(list(point.as_dict().values()))
+        return buf.getvalue().rstrip("\n")
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.records(), indent=indent)
+
+    def pareto_front(
+        self,
+        x: str = "latency_s",
+        y: str = "rms_error",
+        maximize_x: bool = False,
+        maximize_y: bool = False,
+    ) -> "AccuracySweepResult":
+        """Rows not dominated on two metric columns (default: latency/error)."""
+
+        idx = pareto_indices(
+            self.column(x).astype(np.float64),
+            self.column(y).astype(np.float64),
+            maximize_x=maximize_x,
+            maximize_y=maximize_y,
+        )
+        return AccuracySweepResult([self.points[i] for i in idx], self.images, self.seed)
+
+
+# -- the sweep ---------------------------------------------------------------------------
+
+
+def accuracy_sweep(
+    block: Union[str, BlockGeometry] = "layer3_2",
+    formats: Optional[Sequence[FormatLike]] = None,
+    n_units: Sequence[int] = (16,),
+    images: int = 8,
+    seed: int = 0,
+    board: BoardSpec = PYNQ_Z2,
+    input_scale: float = 0.5,
+    weight_scale: float = 0.1,
+) -> AccuracySweepResult:
+    """Sweep the fixed-point format axis of one PL block's datapath.
+
+    Parameters
+    ----------
+    block:
+        The offloadable block (name or geometry) whose datapath is swept.
+    formats:
+        Q-formats to evaluate — :class:`QFormat` instances or
+        ``(word_length, fraction_bits)`` pairs (default:
+        :data:`DEFAULT_FORMAT_LADDER`).
+    n_units:
+        MAC-unit counts; they move the latency/feasibility columns, not the
+        numerics (the datapath arithmetic is unit-count independent).
+    images:
+        Batch size of the forward pass each format is measured on.
+    seed:
+        Seed of the deterministic weight/input generator — the same seed
+        always measures the same batch, so sweeps are reproducible.
+    board:
+        Target board (clock for latency, device for the fits mask).
+    input_scale, weight_scale:
+        Magnitudes of the random inputs/weights.  Raising ``input_scale``
+        pushes narrow formats into saturation, which is exactly the regime
+        the ``overflow_fraction`` column reports on.
+    """
+
+    if images < 1:
+        raise ValueError("images must be a positive integer")
+    geometry = block if isinstance(block, BlockGeometry) else block_geometry(block)
+    if formats is None:
+        formats = DEFAULT_FORMAT_LADDER
+    elif not formats:
+        raise ValueError("formats must be a non-empty sequence (or None for the default ladder)")
+    format_list = [_as_qformat(f) for f in formats]
+    unit_list = [int(u) for u in n_units]
+    if not unit_list or min(unit_list) < 1:
+        raise ValueError("n_units must be a non-empty sequence of positive integers")
+
+    rng = np.random.default_rng(seed)
+    weights = BlockWeights.random(geometry, rng, scale=weight_scale)
+    z = rng.normal(0.0, input_scale, size=(images, geometry.in_channels, geometry.height, geometry.width))
+
+    stages = _float_forward(weights, z, stride=geometry.stride)
+    reference = stages["output"]
+
+    # Cost/feasibility columns are closed-form kernels over the unit axis.
+    cycle_model = OdeBlockCycleModel()
+    transfer_s = AxiTransferModel().block_round_trip(geometry).seconds
+    timing = TimingModel().analyze_batch(unit_list, target_hz=board.pl_clock_hz)
+
+    points: List[AccuracyPoint] = []
+    for fmt in format_list:
+        hw = HardwareODEBlock(geometry, weights, n_units=unit_list[0], qformat=fmt, board=board)
+        report = error_report(reference, hw.dynamics_batch(z), fmt)
+        bound = _analytic_bound(fmt, weights, z, stages)
+        tiles = int(bram_tiles_kernel(geometry, fmt.bytes_per_value))
+        fits = bool(bram_fits_kernel(tiles, board.fpga))
+        for j, units in enumerate(unit_list):
+            compute_s = cycle_model.block_time_seconds(geometry, units, board.pl_clock_hz)
+            latency = compute_s + transfer_s
+            points.append(
+                AccuracyPoint(
+                    block=geometry.name,
+                    word_length=fmt.word_length,
+                    fraction_bits=fmt.fraction_bits,
+                    qformat=fmt.name,
+                    n_units=units,
+                    max_abs_error=report.max_abs_error,
+                    rms_error=report.rms_error,
+                    sqnr_db=report.sqnr_db,
+                    error_bound=bound,
+                    overflow_fraction=report.overflow_fraction,
+                    latency_s=latency,
+                    compute_s=compute_s,
+                    transfer_s=transfer_s,
+                    images_per_s=1.0 / latency,
+                    bram_tiles=tiles,
+                    fits_device=fits,
+                    fmax_mhz=float(timing["fmax_hz"][j]) / 1e6,
+                    meets_timing=bool(timing["meets_timing"][j]),
+                )
+            )
+    return AccuracySweepResult(points, images=images, seed=seed)

@@ -10,11 +10,16 @@ training projection) over whole scenario *axes* as NumPy arrays:
   evaluated with the array-capable kernels the scalar models now expose
   (:func:`repro.core.execution_model.pl_layer_seconds_kernel`,
   :func:`repro.fpga.resources.lut_count_kernel`,
-  :func:`repro.fpga.power.pl_power_kernel`, ...);
-* quantities that depend only on a handful of unique keys (the Table-4 layer
-  plans per ``(model, depth)``, BRAM plans per ``(layer, Q-format)``, timing
-  closure per ``(n_units, clock)``) are computed once per unique key with the
-  *scalar* code path and broadcast by integer codes.
+  :func:`repro.fpga.bram.bram_tiles_kernel`,
+  :func:`repro.fpga.timing.critical_path_ns_kernel`,
+  :func:`repro.fpga.power.pl_power_kernel`, ...).  Since phase 2, BRAM
+  plans and timing closure are closed-form array kernels too — a grid may
+  vary the Q-format / ``n_units`` / clock axes over millions of distinct
+  plan keys without ever touching the scalar planner;
+* quantities that are genuinely structural (the Table-4 layer plans and
+  offload targets per ``(model, depth)``, the published accuracy points)
+  are computed once per unique key with the *scalar* code path and
+  broadcast by integer codes — those axes are enumerable, not numeric.
 
 Because both paths execute the same IEEE-754 operations in the same order,
 the batch engine is **bit-identical** to the loop engine: for any grid,
@@ -54,7 +59,7 @@ from ..core.parameter_model import variant_parameter_count
 from ..core.training_model import TrainingCostConfig
 from ..core.variants import BlockRealization, variant_spec
 from ..fixedpoint.qformat import QFormat
-from ..fpga.bram import plan_block_allocation
+from ..fpga.bram import bram_tiles_kernel
 from ..fpga.power import (
     PowerModelConfig,
     energy_without_pl_kernel,
@@ -68,7 +73,7 @@ from ..fpga.resources import (
     lut_count_kernel,
 )
 from ..fpga.device import PYNQ_Z2
-from ..fpga.timing import TimingModel
+from ..fpga.timing import TimingModel, critical_path_ns_kernel, meets_timing_kernel
 from ..hwsw.ps_model import work_time_kernel
 from ..ode.solvers import get_solver
 from .result import Result, _flatten_value
@@ -169,8 +174,6 @@ class _BatchContext:
         }
         self._variant_cache: Dict[Tuple[str, int], dict] = {}
         self._baseline_cache: Dict[int, float] = {}
-        self._timing_cache: Dict[Tuple[int, float], bool] = {}
-        self._bram_cache: Dict[Tuple[str, int, int], int] = {}
 
     def variant_facts(self, model: str, depth: int) -> dict:
         key = (model, depth)
@@ -214,25 +217,6 @@ class _BatchContext:
             )
             return self._baseline_cache.setdefault(depth, report.total_without_pl)
 
-    def meets_timing(self, n_units: int, clock_hz: float) -> bool:
-        key = (n_units, clock_hz)
-        try:
-            return self._timing_cache[key]
-        except KeyError:
-            ok = self.timing_model.analyze(n_units, target_hz=clock_hz).meets_timing
-            return self._timing_cache.setdefault(key, ok)
-
-    def bram_tiles(self, layer: str, word_length: int, fraction_bits: int, n_units: int) -> int:
-        key = (layer, word_length, fraction_bits, n_units)
-        try:
-            return self._bram_cache[key]
-        except KeyError:
-            plan = plan_block_allocation(
-                self.geometries[layer],
-                n_units=n_units,
-                qformat=QFormat(word_length, fraction_bits),
-            )
-            return self._bram_cache.setdefault(key, plan.total_tiles)
 
 
 _CONTEXT: Optional[_BatchContext] = None
@@ -286,9 +270,9 @@ def _compute_columns(scenarios: Sequence[Scenario]) -> Dict[str, object]:
     sv_codes, sv_keys = _codes([s.solver for s in scenarios])
     stages = np.array([get_solver(k).stages_per_step for k in sv_keys], dtype=np.int64)[sv_codes]
     qf_codes, qf_keys = _codes([(s.word_length, s.fraction_bits) for s in scenarios])
-    qn_codes, qn_keys = _codes([(s.word_length, s.fraction_bits, s.n_units) for s in scenarios])
-    hw_codes, hw_keys = _codes([(s.n_units, s.pl_clock_hz) for s in scenarios])
     bd_codes, bd_keys = _codes([s.board for s in scenarios])
+    # One storage-width array serves both the BRAM kernel and param_bytes.
+    bpv = np.array([QFormat(wl, fb).bytes_per_value for wl, fb in qf_keys], dtype=np.int64)[qf_codes]
 
     def broadcast(values, dtype=None) -> np.ndarray:
         """Per-unique (model, depth) values -> a per-scenario column."""
@@ -342,17 +326,13 @@ def _compute_columns(scenarios: Sequence[Scenario]) -> Dict[str, object]:
     # -- resources ---------------------------------------------------------------------
     dsp_per_layer = dsp_count_kernel(units, rc.dsp_base, rc.dsp_per_unit)
     res = {k: np.zeros(n, dtype=np.float64) for k in ("bram", "dsp", "lut", "ff")}
-    bram_table = np.array(
-        [
-            [ctx.bram_tiles(layer, wl, fb, nu) for layer in OFFLOADABLE_LAYER_NAMES]
-            for wl, fb, nu in qn_keys
-        ],
-        dtype=np.int64,
-    )
     for i, layer in enumerate(OFFLOADABLE_LAYER_NAMES):
         offl = offl_cols[layer]
         geom = ctx.geometries[layer]
-        res["bram"] = res["bram"] + np.where(offl, bram_table[qn_codes, i], 0.0)
+        # Closed-form BRAM plan over the whole Q-format axis (phase 2): the
+        # tile count is capacity-driven, so it depends on the storage bytes
+        # per value, never on n_units (banking only redistributes words).
+        res["bram"] = res["bram"] + np.where(offl, bram_tiles_kernel(geom, bpv), 0.0)
         res["dsp"] = res["dsp"] + np.where(offl, dsp_per_layer, 0.0)
         res["lut"] = res["lut"] + np.where(
             offl,
@@ -378,7 +358,14 @@ def _compute_columns(scenarios: Sequence[Scenario]) -> Dict[str, object]:
         & (res["lut"] <= totals["lut"])
         & (res["ff"] <= totals["ff"])
     )
-    meets = np.array([ctx.meets_timing(u, c) for u, c in hw_keys], dtype=bool)[hw_codes]
+    # Closed-form timing closure over the n_units x clock axes (phase 2);
+    # same kernels as TimingModel.analyze, so scalar and batch paths agree
+    # bit-for-bit.
+    timing_cfg = ctx.timing_model.config
+    critical_path = critical_path_ns_kernel(
+        units, timing_cfg.base_delay_ns, timing_cfg.per_level_delay_ns
+    )
+    meets = meets_timing_kernel(critical_path, clock)
 
     # -- energy ------------------------------------------------------------------------
     pl_busy = np.zeros(n, dtype=np.float64)
@@ -425,7 +412,6 @@ def _compute_columns(scenarios: Sequence[Scenario]) -> Dict[str, object]:
     full_days_off = epoch_off * tc.epochs / 3600.0 / 24.0
 
     # -- parameters --------------------------------------------------------------------
-    bpv = np.array([QFormat(wl, fb).bytes_per_value for wl, fb in qf_keys], dtype=np.int64)[qf_codes]
     qnames = [QFormat(wl, fb).name for wl, fb in qf_keys]
     param_bytes = param_count * bpv
 

@@ -313,6 +313,28 @@ class Evaluator:
 
         return accuracy_table()
 
+    def accuracy_sweep(self, *args, **kwargs):
+        """Accuracy-vs-Q-format sweep of the bit-accurate PL datapath.
+
+        Delegates to :func:`repro.api.accuracy.accuracy_sweep` (see there for
+        the parameters), keeping the CLI's one-evaluator-serves-everything
+        contract.
+        """
+
+        from .accuracy import accuracy_sweep
+
+        return accuracy_sweep(*args, **kwargs)
+
+    def timing_reports(
+        self, unit_counts: Sequence[int] = (1, 4, 8, 16, 32), target_hz: float | None = None
+    ) -> List:
+        """Timing-closure reports over a MAC-unit sweep (the CLI ``timing`` table)."""
+
+        from ..fpga.timing import TimingModel
+
+        model = TimingModel()
+        return [model.analyze(n, target_hz=target_hz) for n in unit_counts]
+
     # -- cache introspection (useful in tests and tuning) ------------------------------
 
     @property

@@ -202,6 +202,7 @@ def scenario_grid(
     word_lengths: Sequence[int] = (32,),
     solvers: Sequence[str] = ("euler",),
     fraction_bits: Optional[int] = None,
+    qformats: Optional[Sequence[Tuple[int, int]]] = None,
     **common,
 ) -> List[Scenario]:
     """Cartesian product of knob axes as a list of validated scenarios.
@@ -209,13 +210,26 @@ def scenario_grid(
     The iteration order is deterministic (models outermost, solvers
     innermost) so sweep outputs are stable row-for-row.  ``common`` passes
     fixed fields (e.g. ``board=...``) to every scenario.
+
+    The Q-format axis comes either from ``word_lengths`` (each resolved to
+    its conventional fraction length, or to a single explicit
+    ``fraction_bits``) or — for sweeps that vary both knobs independently,
+    e.g. the million-key plan-kernel grids — from ``qformats``, an explicit
+    sequence of ``(word_length, fraction_bits)`` pairs that then replaces
+    the ``word_lengths`` axis.
     """
 
+    if qformats is not None:
+        if fraction_bits is not None:
+            raise ValueError("pass either qformats or fraction_bits, not both")
+        format_axis = [(int(wl), int(fb)) for wl, fb in qformats]
+    else:
+        format_axis = [(wl, fraction_bits_for(wl, fraction_bits)) for wl in word_lengths]
     grid: List[Scenario] = []
     for model in models:
         for depth in depths:
             for units in n_units:
-                for wl in word_lengths:
+                for wl, fb in format_axis:
                     for solver in solvers:
                         grid.append(
                             Scenario(
@@ -223,7 +237,7 @@ def scenario_grid(
                                 depth=depth,
                                 n_units=units,
                                 word_length=wl,
-                                fraction_bits=fraction_bits_for(wl, fraction_bits),
+                                fraction_bits=fb,
                                 solver=solver,
                                 **common,
                             )

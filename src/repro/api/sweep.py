@@ -14,6 +14,14 @@ so ``workers=1`` and ``workers=8`` produce identical result lists.  Threads
 closed-form computations and the win is overlapping thousands of scenario
 evaluations, not bypassing the GIL for one heavy kernel; results also stay
 shared in the evaluator's in-process cache.
+
+This loop engine is also the *conformance oracle* for the vectorized paths:
+:mod:`repro.api.batch` (and, since phase 2, the closed-form BRAM/timing
+plan kernels inside it) is pinned field-for-field against ``sweep`` by
+``tests/api/test_batch.py`` and ``tests/api/test_batch_plans.py``.  Prefer
+:func:`repro.api.batch.sweep_batch` for large grids; prefer ``sweep`` when a
+scenario subclass overrides derived behaviour or when debugging a single
+design point end to end.
 """
 
 from __future__ import annotations

@@ -21,6 +21,8 @@ training       projected training cost (future-work analysis)
 eval           full structured report for one scenario
 sweep          design-space grid (variants x depths x MAC units x ...)
 sim            discrete-event serving simulation (arrivals/replicas/policies)
+timing         timing-closure sweep over MAC-unit counts
+accuracy-sweep accuracy-vs-Q-format-vs-latency frontier of the PL datapath
 ============  ==========================================================
 
 Every sub-command accepts ``--json`` to emit the structured result instead
@@ -274,6 +276,11 @@ def _configure_sweep(p: argparse.ArgumentParser) -> None:
         help="fraction bits applied to every --wordlengths value "
         "(default: the conventional Q-format per word length)",
     )
+    p.add_argument(
+        "--qformats", nargs="*", default=None, metavar="WL:FB",
+        help="explicit Q-format axis, e.g. 16:8 16:10 12:6 (replaces "
+        "--wordlengths; lets both knobs vary independently)",
+    )
     p.add_argument("--solvers", nargs="*", choices=available_methods(), default=["euler"])
     p.add_argument("--workers", type=int, default=1, help="thread-pool width for the loop engine")
     p.add_argument(
@@ -318,6 +325,11 @@ def _cmd_sweep(args, evaluator: Evaluator) -> CommandOutput:
         fraction_bits=args.fraction_bits,
         solvers=args.solvers,
     )
+    if args.qformats is not None:
+        if args.fraction_bits is not None:
+            raise ValueError("pass either --qformats or --fraction-bits, not both")
+        axes["qformats"] = _parse_formats(args.qformats, flag="--qformats")
+        axes["fraction_bits"] = None
     if args.models is not None:
         axes["models"] = args.models
     grid = scenario_grid(**axes)
@@ -467,6 +479,115 @@ def _cmd_sim(args, evaluator: Evaluator) -> CommandOutput:
     else:
         text = report.render()
     return CommandOutput(text, report.as_dict())
+
+
+def _configure_timing(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--n-units", nargs="*", type=int, default=[1, 4, 8, 16, 32],
+        help="MAC-unit counts to analyze",
+    )
+    p.add_argument(
+        "--clock-mhz", type=float, default=None,
+        help="target PL clock in MHz (default: the model's 100 MHz constraint)",
+    )
+
+
+@command("timing", help="timing-closure sweep over MAC-unit counts", configure=_configure_timing)
+def _cmd_timing(args, evaluator: Evaluator) -> CommandOutput:
+    if any(n < 1 for n in args.n_units):
+        raise ValueError("--n-units entries must be positive integers")
+    target_hz = args.clock_mhz * 1e6 if args.clock_mhz is not None else None
+    reports = evaluator.timing_reports(args.n_units, target_hz=target_hz)
+    lines = ["Timing closure (critical-path model)"]
+    lines.extend(str(report) for report in reports)
+    return CommandOutput("\n".join(lines), [report.as_dict() for report in reports])
+
+
+def _configure_accuracy_sweep(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--block", choices=("layer1", "layer2_2", "layer3_2"), default="layer3_2",
+        help="PL block whose datapath is swept",
+    )
+    p.add_argument(
+        "--formats", nargs="*", default=None, metavar="WL:FB",
+        help="explicit Q-formats, e.g. 16:8 12:6 (default: the built-in ladder)",
+    )
+    p.add_argument(
+        "--wordlengths", nargs="*", type=int, default=None,
+        help="word lengths resolved to their conventional fraction bits "
+        "(alternative to --formats)",
+    )
+    p.add_argument("--n-units", nargs="*", type=int, default=[16])
+    p.add_argument("--images", type=int, default=8, help="images per batched forward pass")
+    p.add_argument("--seed", type=int, default=0, help="weight/input generator seed")
+    p.add_argument(
+        "--input-scale", type=float, default=0.5,
+        help="input magnitude (larger values push narrow formats into saturation)",
+    )
+    p.add_argument("--format", choices=("table", "csv", "json", "pareto"), default="table")
+    p.add_argument("--pareto-x", default="latency_s", help="x metric of --format pareto")
+    p.add_argument("--pareto-y", default="rms_error", help="y metric of --format pareto")
+
+
+def _parse_formats(entries, flag: str = "--formats") -> List:
+    """Parse ``WL:FB`` entries into (word_length, fraction_bits) pairs."""
+
+    pairs = []
+    for entry in entries:
+        parts = entry.split(":")
+        if len(parts) != 2:
+            raise ValueError(f"bad {flag} entry '{entry}'; expected WL:FB (e.g. 16:8)")
+        try:
+            pairs.append((int(parts[0]), int(parts[1])))
+        except ValueError:
+            raise ValueError(f"bad {flag} entry '{entry}'; expected integers WL:FB")
+    return pairs
+
+
+@command(
+    "accuracy-sweep",
+    help="accuracy-vs-Q-format-vs-latency frontier of the PL datapath",
+    configure=_configure_accuracy_sweep,
+)
+def _cmd_accuracy_sweep(args, evaluator: Evaluator) -> CommandOutput:
+    if args.formats is not None and args.wordlengths is not None:
+        raise ValueError("pass either --formats or --wordlengths, not both")
+    formats = None
+    if args.formats is not None:
+        formats = _parse_formats(args.formats)
+    elif args.wordlengths is not None:
+        formats = [(wl, fraction_bits_for(wl)) for wl in args.wordlengths]
+    result = evaluator.accuracy_sweep(
+        block=args.block,
+        formats=formats,
+        n_units=args.n_units,
+        images=args.images,
+        seed=args.seed,
+        input_scale=args.input_scale,
+    )
+    if args.format == "pareto":
+        try:
+            front = result.pareto_front(args.pareto_x, args.pareto_y)
+        except KeyError as exc:
+            raise ValueError(f"unknown pareto metric: {exc.args[0] if exc.args else exc}")
+        text = format_records(
+            front.records(),
+            title=(
+                f"Accuracy/latency Pareto front over ({args.pareto_x}, {args.pareto_y}): "
+                f"{len(front)} of {len(result)} points"
+            ),
+        )
+        return CommandOutput(text, front.records())
+    if args.format == "csv":
+        text = result.to_csv()
+    elif args.format == "json":
+        text = result.to_json()
+    else:
+        text = format_records(
+            result.records(),
+            title=f"Accuracy-vs-format sweep: {args.block}, {args.images} images",
+        )
+    return CommandOutput(text, result.records())
 
 
 def _pareto_front_or_error(table: BatchResult, x: str, y: str, maximize_x: bool, maximize_y: bool):

@@ -1,7 +1,7 @@
 """Fixed-point arithmetic substrate (the paper's 32-bit Q20 datapath format)."""
 
 from . import arithmetic
-from .errors import QuantizationReport, analyze_quantization, sqnr_db, sweep_wordlengths
+from .errors import QuantizationReport, analyze_quantization, error_report, sqnr_db, sweep_wordlengths
 from .fxarray import FxArray
 from .qformat import Q8, Q12, Q16, Q20, OverflowMode, QFormat
 
@@ -16,6 +16,7 @@ __all__ = [
     "arithmetic",
     "QuantizationReport",
     "analyze_quantization",
+    "error_report",
     "sweep_wordlengths",
     "sqnr_db",
 ]

@@ -141,12 +141,15 @@ def fx_relu(a: IntArray, fmt: QFormat) -> np.ndarray:
     return np.maximum(np.asarray(a, dtype=np.int64), 0)
 
 
-def fx_mean(a: np.ndarray, fmt: QFormat, axis=None) -> np.ndarray:
+def fx_mean(a: np.ndarray, fmt: QFormat, axis=None, keepdims: bool = False) -> np.ndarray:
     """Fixed-point mean along ``axis`` (sum then divide, as the BN unit does).
 
     The accumulator is wider than the word length (hardware uses a wide
     accumulator register); only the final quotient is renormalised to the
-    target format.
+    target format.  ``axis`` may be an int or a tuple of ints (the batched
+    datapath reduces each image's spatial axes at once); each reduced group
+    sums exactly the elements a per-image reduction would, so batched and
+    per-image results are bit-identical.
     """
 
     a64 = np.asarray(a, dtype=np.int64)
@@ -154,19 +157,17 @@ def fx_mean(a: np.ndarray, fmt: QFormat, axis=None) -> np.ndarray:
         count = a64.size
     else:
         count = int(np.prod([a64.shape[ax] for ax in np.atleast_1d(axis)]))
-    total = a64.sum(axis=axis, dtype=np.int64)
+    total = a64.sum(axis=axis, dtype=np.int64, keepdims=keepdims)
     # total and the result are both in fixed representation, so a plain
     # truncating integer division by the (unscaled) element count suffices.
     result = (np.sign(total)) * (np.abs(total) // count)
     return _apply_overflow(result, fmt, OverflowMode.SATURATE)
 
 
-def fx_var(a: np.ndarray, fmt: QFormat, axis=None) -> np.ndarray:
-    """Fixed-point (biased) variance along ``axis``."""
+def fx_var(a: np.ndarray, fmt: QFormat, axis=None, keepdims: bool = False) -> np.ndarray:
+    """Fixed-point (biased) variance along ``axis`` (int or tuple of ints)."""
 
-    mean = fx_mean(a, fmt, axis=axis)
-    if axis is not None:
-        mean = np.expand_dims(mean, axis=axis)
+    mean = fx_mean(a, fmt, axis=axis, keepdims=axis is not None)
     centered = fx_sub(a, mean, fmt)
     squared = fx_mul(centered, centered, fmt)
-    return fx_mean(squared, fmt, axis=axis)
+    return fx_mean(squared, fmt, axis=axis, keepdims=keepdims)

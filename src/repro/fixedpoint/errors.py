@@ -18,6 +18,7 @@ from .qformat import QFormat
 __all__ = [
     "QuantizationReport",
     "analyze_quantization",
+    "error_report",
     "sweep_wordlengths",
     "sqnr_db",
     "conv_error_bound",
@@ -76,6 +77,33 @@ def analyze_quantization(values: np.ndarray, fmt: QFormat) -> QuantizationReport
         rms_error=float(np.sqrt(np.mean(np.square(error)))) if values.size else 0.0,
         sqnr_db=sqnr_db(values, error),
         overflow_fraction=float(1.0 - representable.mean()) if values.size else 0.0,
+    )
+
+
+def error_report(reference: np.ndarray, actual: np.ndarray, fmt: QFormat) -> QuantizationReport:
+    """Error statistics of an *already-computed* signal against a reference.
+
+    Unlike :func:`analyze_quantization` (which quantises the input itself),
+    this compares two given signals — e.g. a fixed-point datapath's output
+    versus its float64 reference — and reports the same statistics.  The
+    overflow fraction counts reference values outside the format's
+    representable range (the saturation regime).  Used by the
+    accuracy-vs-format sweep (:func:`repro.api.accuracy.accuracy_sweep`).
+    """
+
+    reference = np.asarray(reference, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if reference.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {actual.shape}")
+    error = actual - reference
+    representable = fmt.representable(reference)
+    return QuantizationReport(
+        fmt=fmt,
+        max_abs_error=float(np.max(np.abs(error))) if reference.size else 0.0,
+        mean_abs_error=float(np.mean(np.abs(error))) if reference.size else 0.0,
+        rms_error=float(np.sqrt(np.mean(np.square(error)))) if reference.size else 0.0,
+        sqnr_db=sqnr_db(reference, error),
+        overflow_fraction=float(1.0 - representable.mean()) if reference.size else 0.0,
     )
 
 

@@ -53,6 +53,27 @@ class FxArray:
     def zeros(cls, shape, fmt: QFormat = Q20) -> "FxArray":
         return cls(np.zeros(shape, dtype=np.int64), fmt)
 
+    @classmethod
+    def stack(cls, arrays: "list[FxArray]") -> "FxArray":
+        """Stack same-format arrays along a new leading (batch) axis.
+
+        The inverse of :meth:`split`; used to assemble multi-image batches
+        for the batched PL datapath without re-quantising.
+        """
+
+        if not arrays:
+            raise ValueError("cannot stack an empty list of FxArrays")
+        fmt = arrays[0].fmt
+        for a in arrays[1:]:
+            if a.fmt != fmt:
+                raise ValueError(f"format mismatch: {fmt.name} vs {a.fmt.name}")
+        return cls(np.stack([a.raw for a in arrays]), fmt, arrays[0].overflow)
+
+    def split(self) -> "list[FxArray]":
+        """Split along the leading axis into per-item arrays (no copies)."""
+
+        return [FxArray(self.raw[i], self.fmt, self.overflow) for i in range(len(self.raw))]
+
     # -- conversion -------------------------------------------------------------
 
     def to_float(self) -> np.ndarray:

@@ -7,7 +7,16 @@ calibrated against the numbers published in the paper.
 """
 
 from .axi import AxiTransferConfig, AxiTransferModel, TransferEstimate
-from .bram import BRAM36_BYTES, BramPlan, BramRegion, plan_block_allocation, tiles_for_bytes
+from .bram import (
+    BRAM36_BYTES,
+    BramPlan,
+    BramRegion,
+    bram_fits_kernel,
+    bram_tiles_kernel,
+    plan_block_allocation,
+    tiles_for_bytes,
+    tiles_for_bytes_kernel,
+)
 from .cycles import (
     PAPER_LAYER3_2_CYCLES,
     CycleBreakdown,
@@ -28,8 +37,17 @@ from .odeblock_hw import BlockWeights, HardwareExecutionReport, HardwareODEBlock
 from .ops import hw_batch_norm, hw_conv2d, hw_relu, hw_residual_add
 from .power import EnergyEstimate, PowerModel, PowerModelConfig
 from .resources import PUBLISHED_TABLE3, ResourceEstimate, ResourceEstimator, published_table3
-from .scheduler import DatapathScheduler, ScheduleTrace, UnitTrace
-from .timing import DEFAULT_TIMING_MODEL, TimingModel, TimingModelConfig, TimingReport
+from .scheduler import DatapathScheduler, ScheduleTrace, UnitTrace, schedule_cycles_kernel
+from .timing import (
+    DEFAULT_TIMING_MODEL,
+    TimingModel,
+    TimingModelConfig,
+    TimingReport,
+    critical_path_ns_kernel,
+    fmax_hz_kernel,
+    meets_timing_kernel,
+    slack_ns_kernel,
+)
 
 __all__ = [
     "BoardSpec",
@@ -48,6 +66,9 @@ __all__ = [
     "BRAM36_BYTES",
     "plan_block_allocation",
     "tiles_for_bytes",
+    "tiles_for_bytes_kernel",
+    "bram_tiles_kernel",
+    "bram_fits_kernel",
     "CycleModelConfig",
     "CycleBreakdown",
     "OdeBlockCycleModel",
@@ -60,6 +81,11 @@ __all__ = [
     "TimingModelConfig",
     "TimingReport",
     "DEFAULT_TIMING_MODEL",
+    "critical_path_ns_kernel",
+    "fmax_hz_kernel",
+    "slack_ns_kernel",
+    "meets_timing_kernel",
+    "schedule_cycles_kernel",
     "AxiTransferModel",
     "AxiTransferConfig",
     "TransferEstimate",

@@ -12,14 +12,23 @@ and the offload-feasibility check consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from math import ceil
 from typing import Dict, List
+
+import numpy as np
 
 from ..fixedpoint.qformat import QFormat, Q20
 from .device import FpgaDevice, ZYNQ_XC7Z020
 from .geometry import BlockGeometry
 
-__all__ = ["BramRegion", "BramPlan", "tiles_for_bytes", "plan_block_allocation"]
+__all__ = [
+    "BramRegion",
+    "BramPlan",
+    "tiles_for_bytes",
+    "plan_block_allocation",
+    "tiles_for_bytes_kernel",
+    "bram_tiles_kernel",
+    "bram_fits_kernel",
+]
 
 
 #: Usable data bytes of one BRAM36 tile (4 KiB of data; the parity bits are
@@ -27,14 +36,62 @@ __all__ = ["BramRegion", "BramPlan", "tiles_for_bytes", "plan_block_allocation"]
 BRAM36_BYTES = 4096
 
 
+# -- array-capable kernels ---------------------------------------------------------------
+#
+# Shared by the scalar planner below and the batch-evaluation engine
+# (:mod:`repro.api.batch`), which evaluates them over whole Q-format /
+# word-length axes at once.  Tile counts are exact integer arithmetic in both
+# paths, so scalar and array results are identical by construction
+# (pinned by ``tests/fpga/test_plan_kernels.py``).
+
+
+def tiles_for_bytes_kernel(num_bytes, tile_bytes: int = BRAM36_BYTES):
+    """BRAM36 tiles needed per byte count (ceil division; 0 bytes -> 0 tiles).
+
+    Accepts scalars or integer arrays; the arithmetic stays in int64.
+    """
+
+    b = np.asarray(num_bytes, dtype=np.int64)
+    return -(-b // int(tile_bytes))
+
+
+def bram_tiles_kernel(
+    geometry: BlockGeometry,
+    bytes_per_value,
+    feature_map_buffers: int = 3,
+    tile_bytes: int = BRAM36_BYTES,
+):
+    """Total BRAM36 tiles of one block's allocation plan, vectorized.
+
+    ``bytes_per_value`` may be a scalar or an integer array (e.g. one entry
+    per scenario of a word-length sweep).  Matches
+    ``plan_block_allocation(geometry, qformat=...).total_tiles`` exactly:
+    one capacity-driven region per convolution's weights, one for the BN
+    parameters and ``feature_map_buffers`` full feature-map buffers.  The
+    tile count is independent of ``n_units`` (banking redistributes words,
+    it does not add tiles).
+    """
+
+    bpv = np.asarray(bytes_per_value, dtype=np.int64)
+    per_conv_weights = geometry.weight_count // geometry.num_convs
+    conv_tiles = tiles_for_bytes_kernel(per_conv_weights * bpv, tile_bytes)
+    bn_tiles = tiles_for_bytes_kernel(geometry.bn_parameter_count * bpv, tile_bytes)
+    fmap_tiles = tiles_for_bytes_kernel(geometry.output_elements * bpv, tile_bytes)
+    return geometry.num_convs * conv_tiles + bn_tiles + feature_map_buffers * fmap_tiles
+
+
+def bram_fits_kernel(total_tiles, device: FpgaDevice = ZYNQ_XC7Z020):
+    """Boolean fits/overflow mask of tile counts against a device's BRAM."""
+
+    return np.asarray(total_tiles, dtype=np.int64) <= device.bram36
+
+
 def tiles_for_bytes(num_bytes: int, tile_bytes: int = BRAM36_BYTES) -> int:
     """Number of BRAM36 tiles needed to hold ``num_bytes`` of data."""
 
     if num_bytes < 0:
         raise ValueError("num_bytes must be non-negative")
-    if num_bytes == 0:
-        return 0
-    return ceil(num_bytes / tile_bytes)
+    return int(tiles_for_bytes_kernel(num_bytes, tile_bytes))
 
 
 @dataclass(frozen=True)
@@ -77,7 +134,8 @@ class BramPlan:
         for r in self.regions:
             if r.name == name:
                 return r
-        raise KeyError(f"no BRAM region named '{name}'")
+        available = ", ".join(r.name for r in self.regions) or "(none)"
+        raise KeyError(f"no BRAM region named '{name}'; available regions: {available}")
 
 
 def plan_block_allocation(
@@ -94,10 +152,15 @@ def plan_block_allocation(
         The block geometry (layer1 / layer2_2 / layer3_2).
     n_units:
         Number of multiply-add units.  Each unit needs concurrent access to a
-        weight word, so the weight storage is spread over at least ``n_units``
-        banks, which can increase the tile count for small layers (this is
-        what pushes layer1's conv_x16 BRAM count above the conv_x8 one in
-        Table 3).
+        weight word, so the weight words are interleaved across up to
+        ``n_units`` banks — recorded as the regions' ``banks`` attribute.
+        In this model banking only redistributes words; the tile count stays
+        capacity-driven and is therefore independent of ``n_units`` (which
+        is what lets :func:`bram_tiles_kernel` drop the unit axis).  The
+        published Table 3 shows layer1's conv_x16 BRAM slightly above
+        conv_x8 — a banking-granularity effect this capacity model
+        deliberately does not reproduce (see ``tests/fpga/test_resources.py``
+        for the published-vs-model comparison).
     qformat:
         Fixed-point format of the stored values (32-bit Q20 by default; the
         word-length ablation passes narrower formats here).

@@ -173,14 +173,20 @@ class HardwareODEBlock:
         return out.to_float()
 
     def _with_time_channel(self, x: FxArray, t: float) -> FxArray:
-        """Append the constant integration-time channel (time-concat mode)."""
+        """Append the constant integration-time channel (time-concat mode).
+
+        Works for a single image ``(C, H, W)`` and a batch ``(N, C, H, W)``;
+        the constant plane is identical for every image, so batching stays
+        bit-exact.
+        """
 
         if not self.time_concat:
             return x
-        _, h, w = x.shape
+        h, w = x.shape[-2:]
         t_fx = self.qformat.to_fixed(float(t))
-        t_plane = np.full((1, h, w), int(t_fx), dtype=np.int64)
-        return FxArray(np.concatenate([x.raw, t_plane], axis=0), self.qformat)
+        plane_shape = (1, h, w) if x.ndim == 3 else (x.shape[0], 1, h, w)
+        t_plane = np.full(plane_shape, int(t_fx), dtype=np.int64)
+        return FxArray(np.concatenate([x.raw, t_plane], axis=-3), self.qformat)
 
     def _forward_fixed(self, x: FxArray, t: float = 0.0) -> FxArray:
         h = hw_conv2d(self._with_time_channel(x, t), self._conv1_w, stride=self.geometry.stride, padding=1)
@@ -204,6 +210,21 @@ class HardwareODEBlock:
         )
         return h
 
+    def dynamics_batch(self, z: np.ndarray, t: float = 0.0) -> np.ndarray:
+        """Evaluate ``f(z, t, θ)`` for a whole ``(N, C, H, W)`` batch at once.
+
+        The batch is quantised once and flows through the datapath as one
+        :class:`FxArray` tensor; the result is bit-identical to calling
+        :meth:`dynamics` on each image (the board evaluates images serially,
+        so a batch is a throughput construct, not a semantic one).
+        """
+
+        z = np.asarray(z, dtype=np.float64)
+        if z.ndim != 4:
+            raise ValueError("dynamics_batch expects an (N, C, H, W) batch")
+        x = FxArray.from_float(z, self.qformat)
+        return self._forward_fixed(x, t).to_float()
+
     def execute(
         self, z: np.ndarray, step_size: float = 1.0, residual: bool = True, t: float = 0.0
     ) -> tuple:
@@ -215,6 +236,23 @@ class HardwareODEBlock:
         """
 
         z = np.asarray(z, dtype=np.float64)
+        out, report = self.execute_batch(z[None], step_size=step_size, residual=residual, t=t)
+        return out[0], report
+
+    def execute_batch(
+        self, z: np.ndarray, step_size: float = 1.0, residual: bool = True, t: float = 0.0
+    ) -> tuple:
+        """Run one invocation per image of an ``(N, C, H, W)`` batch.
+
+        Returns ``(z_next, report)`` where ``report`` accounts for **one**
+        image (the PL processes images serially, so a batch of N costs
+        ``N * report.total_seconds``).  The outputs are bit-identical to N
+        :meth:`execute` calls; ``invocations`` advances by N.
+        """
+
+        z = np.asarray(z, dtype=np.float64)
+        if z.ndim != 4:
+            raise ValueError("execute_batch expects an (N, C, H, W) batch")
         x = FxArray.from_float(z, self.qformat)
         f_out = self._forward_fixed(x, t)
         out = hw_residual_add(x, f_out, step_size) if residual else f_out
@@ -227,8 +265,29 @@ class HardwareODEBlock:
             compute_seconds=cycles.time_seconds(self.board.pl_clock_hz),
             transfer_seconds=transfer.seconds,
         )
-        self.invocations += 1
+        self.invocations += len(z)
         return out.to_float(), report
+
+    def run_iterations_batch(
+        self, z: np.ndarray, iterations: int, step_size: float = 1.0, t0: float = 0.0
+    ) -> tuple:
+        """Euler-iterate a whole batch: ``z <- z + h·f(z, t_i)`` per image.
+
+        Returns ``(z_final, total_seconds, reports)`` where ``total_seconds``
+        covers all ``N * iterations`` serial invocations.  Bit-identical to
+        :meth:`run_iterations` applied per image.
+        """
+
+        reports = []
+        total = 0.0
+        state = np.asarray(z, dtype=np.float64)
+        n = len(state)
+        for i in range(iterations):
+            t = t0 + i * step_size
+            state, report = self.execute_batch(state, step_size=step_size, residual=True, t=t)
+            reports.append(report)
+            total += n * report.total_seconds
+        return state, total, reports
 
     def run_iterations(
         self, z: np.ndarray, iterations: int, step_size: float = 1.0, t0: float = 0.0

@@ -3,9 +3,13 @@
 These functions model the arithmetic performed by the Verilog ODEBlock
 described in Section 3.1: 3x3 convolution and ReLU executed by multiply-add
 units, and batch normalisation executed by multiply-add, division and
-square-root units, all in 32-bit Q20 fixed point.  They operate on a single
-image (``(C, H, W)``), matching the board's one-image-at-a-time prediction
-flow, and on :class:`~repro.fixedpoint.fxarray.FxArray` data.
+square-root units, all in 32-bit Q20 fixed point.  They operate on
+:class:`~repro.fixedpoint.fxarray.FxArray` data, either a single image
+(``(C, H, W)``, the board's one-image-at-a-time prediction flow) or a batch
+(``(N, C, H, W)``).  A batch is **bit-identical** to N single-image calls:
+every integer operation is exact and the batch-normalisation statistics are
+reduced per image, never across the batch (enforced by
+``tests/fpga/test_batched_odeblock.py``).
 
 The integer arithmetic follows the hardware conventions: products are
 computed at double width and renormalised by an arithmetic right shift,
@@ -33,22 +37,25 @@ def hw_conv2d(
     stride: int = 1,
     padding: int = 1,
 ) -> FxArray:
-    """Fixed-point 3x3 convolution of a single image.
+    """Fixed-point 3x3 convolution of a single image or a batch.
 
     Parameters
     ----------
     x:
-        Input feature map of shape ``(C_in, H, W)``.
+        Input feature map of shape ``(C_in, H, W)`` or a batch
+        ``(N, C_in, H, W)``.
     weight:
         Kernel of shape ``(C_out, C_in, KH, KW)``.
     """
 
-    if x.ndim != 3:
-        raise ValueError("hw_conv2d expects a single (C, H, W) image")
+    if x.ndim not in (3, 4):
+        raise ValueError("hw_conv2d expects a (C, H, W) image or an (N, C, H, W) batch")
     if x.fmt != weight.fmt:
         raise ValueError("input and weight formats must match")
     fmt = x.fmt
-    c_in, h, w = x.shape
+    batched = x.ndim == 4
+    raw = x.raw if batched else x.raw[None, ...]
+    n, c_in, h, w = raw.shape
     c_out, c_in_w, kh, kw = weight.shape
     if c_in != c_in_w:
         raise ValueError(f"channel mismatch: {c_in} vs {c_in_w}")
@@ -58,16 +65,17 @@ def hw_conv2d(
 
     # im2col on the raw integer representation; zero padding is exact in
     # fixed point, so reusing the float helper on int64 data is safe.
-    cols = im2col(x.raw[None, ...].astype(np.int64), kh, kw, stride, padding)
+    cols = im2col(raw.astype(np.int64), kh, kw, stride, padding)
     w_mat = weight.raw.reshape(c_out, -1).astype(np.int64)
 
     # Wide accumulation followed by a single renormalisation, matching a MAC
-    # unit with a wide accumulator register.
+    # unit with a wide accumulator register.  Integer matmul is exact, so
+    # batching the images changes nothing about any one image's result.
     acc = cols @ w_mat.T
     renorm = acc >> fmt.fraction_bits
     renorm = np.clip(renorm, fmt.min_int, fmt.max_int)
-    out = renorm.reshape(out_h, out_w, c_out).transpose(2, 0, 1)
-    return FxArray(out, fmt)
+    out = renorm.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+    return FxArray(out if batched else out[0], fmt)
 
 
 def hw_batch_norm(
@@ -79,43 +87,50 @@ def hw_batch_norm(
     eps: float = 1e-5,
     dynamic_stats: bool = True,
 ) -> FxArray:
-    """Fixed-point batch normalisation of a single image.
+    """Fixed-point batch normalisation of a single image or a batch.
 
     The paper's hardware computes the mean, variance and standard deviation
     on the fly with multiply-add, divide and square-root units
     (``dynamic_stats=True``, the default).  Alternatively the trained running
     statistics can be applied (``dynamic_stats=False``), which is the
     standard inference-time behaviour of software BN.
+
+    A batched input ``(N, C, H, W)`` reduces the statistics **per image**
+    (the board normalises one prediction at a time), so the result is
+    bit-identical to N single-image calls.
     """
 
-    if x.ndim != 3:
-        raise ValueError("hw_batch_norm expects a single (C, H, W) image")
+    if x.ndim not in (3, 4):
+        raise ValueError("hw_batch_norm expects a (C, H, W) image or an (N, C, H, W) batch")
     fmt = x.fmt
-    c = x.shape[0]
+    batched = x.ndim == 4
+    raw = x.raw if batched else x.raw[None, ...]
+    n, c = raw.shape[:2]
     if gamma.shape != (c,) or beta.shape != (c,):
         raise ValueError("gamma/beta must have shape (C,)")
 
     eps_fx = fmt.to_fixed(eps)
 
     if dynamic_stats:
-        mean = fx.fx_mean(x.raw.reshape(c, -1), fmt, axis=1)
-        var = fx.fx_var(x.raw.reshape(c, -1), fmt, axis=1)
+        flat = raw.reshape(n, c, -1)
+        mean = fx.fx_mean(flat, fmt, axis=2)
+        var = fx.fx_var(flat, fmt, axis=2)
     else:
         if running_mean is None or running_var is None:
             raise ValueError("running statistics required when dynamic_stats=False")
-        mean = running_mean.raw
-        var = running_var.raw
+        mean = np.broadcast_to(running_mean.raw, (n, c))
+        var = np.broadcast_to(running_var.raw, (n, c))
 
     std = fx.fx_sqrt(fx.fx_add(var, eps_fx, fmt), fmt)
     # A hardware divider cannot divide by zero; clamp σ to one LSB (relevant
     # only for very narrow word lengths where small variances quantise to 0).
     std = np.maximum(std, 1)
 
-    centered = fx.fx_sub(x.raw, mean.reshape(c, 1, 1), fmt)
-    normalized = fx.fx_div(centered, std.reshape(c, 1, 1), fmt)
-    scaled = fx.fx_mul(normalized, gamma.raw.reshape(c, 1, 1), fmt)
-    shifted = fx.fx_add(scaled, beta.raw.reshape(c, 1, 1), fmt)
-    return FxArray(shifted, fmt)
+    centered = fx.fx_sub(raw, mean.reshape(n, c, 1, 1), fmt)
+    normalized = fx.fx_div(centered, std.reshape(n, c, 1, 1), fmt)
+    scaled = fx.fx_mul(normalized, gamma.raw.reshape(1, c, 1, 1), fmt)
+    shifted = fx.fx_add(scaled, beta.raw.reshape(1, c, 1, 1), fmt)
+    return FxArray(shifted if batched else shifted[0], fmt)
 
 
 def hw_relu(x: FxArray) -> FxArray:

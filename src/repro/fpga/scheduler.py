@@ -21,9 +21,48 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from .geometry import BlockGeometry
 
-__all__ = ["ScheduleTrace", "UnitTrace", "DatapathScheduler"]
+__all__ = ["ScheduleTrace", "UnitTrace", "DatapathScheduler", "schedule_cycles_kernel"]
+
+
+def schedule_cycles_kernel(
+    geometry: BlockGeometry,
+    n_units,
+    issue_interval: int = 5,
+    bn_passes: int = 3,
+    bn_cycles_per_element_pass: int = 7,
+    relu_fused: bool = True,
+):
+    """Closed-form total cycles of the simulated schedule, over ``n_units`` axes.
+
+    The stepped simulation's per-pass makespan is set by the most-loaded MAC
+    unit, which under round-robin channel assignment owns
+    ``ceil(out_channels / units)`` output channels.  This expresses that
+    directly as integer array arithmetic, so sweeping a million unit counts
+    costs one vector op instead of a million schedule walks.  Equality with
+    :meth:`DatapathScheduler.simulate_block` is pinned by
+    ``tests/fpga/test_plan_kernels.py``.
+    """
+
+    units = np.minimum(np.maximum(np.asarray(n_units, dtype=np.int64), 1), geometry.out_channels)
+    pixels = geometry.out_height * geometry.out_width
+    max_channels = -(-geometry.out_channels // units)  # most-loaded unit
+    conv_cycles = np.zeros_like(units, dtype=np.float64)
+    for conv_index in range(geometry.num_convs):
+        in_channels = geometry.in_channels if conv_index == 0 else geometry.out_channels
+        per_output_macs = in_channels * geometry.kernel * geometry.kernel
+        conv_cycles = conv_cycles + max_channels * pixels * per_output_macs * issue_interval
+    bn_cycles = (
+        geometry.num_batch_norms
+        * geometry.output_elements
+        * bn_passes
+        * bn_cycles_per_element_pass
+    )
+    relu_cycles = 0.0 if relu_fused else geometry.output_elements / units
+    return conv_cycles + bn_cycles + relu_cycles
 
 
 @dataclass(frozen=True)
@@ -173,3 +212,22 @@ class DatapathScheduler:
         """Simulate a sweep of MAC-unit counts (the paper's conv_xN designs)."""
 
         return {n: self.simulate_block(geometry, n) for n in unit_counts}
+
+    def total_cycles_batch(self, geometry: BlockGeometry, n_units) -> np.ndarray:
+        """Total cycles over a whole ``n_units`` axis, without stepping.
+
+        Equal to ``simulate_block(geometry, n).total_cycles`` for every entry
+        (the closed form of the same schedule).
+        """
+
+        return np.asarray(
+            schedule_cycles_kernel(
+                geometry,
+                n_units,
+                issue_interval=self.issue_interval,
+                bn_passes=self.bn_passes,
+                bn_cycles_per_element_pass=self.bn_cycles_per_element_pass,
+                relu_fused=self.relu_fused,
+            ),
+            dtype=np.float64,
+        )

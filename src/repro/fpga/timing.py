@@ -13,11 +13,21 @@ while remaining a smooth, monotone model usable in the parallelism ablation.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Iterable
 
-__all__ = ["TimingModelConfig", "TimingReport", "TimingModel", "DEFAULT_TIMING_MODEL"]
+import numpy as np
+
+__all__ = [
+    "TimingModelConfig",
+    "TimingReport",
+    "TimingModel",
+    "DEFAULT_TIMING_MODEL",
+    "critical_path_ns_kernel",
+    "fmax_hz_kernel",
+    "slack_ns_kernel",
+    "meets_timing_kernel",
+]
 
 
 @dataclass(frozen=True)
@@ -32,6 +42,43 @@ class TimingModelConfig:
 
     #: Target clock period used by the paper (100 MHz -> 10 ns).
     target_clock_hz: float = 100e6
+
+
+# -- array-capable kernels ---------------------------------------------------------------
+#
+# The batch-evaluation engine (:mod:`repro.api.batch`) evaluates timing
+# closure over whole ``n_units`` x clock axes at once.  The scalar
+# :class:`TimingModel` methods delegate to the same kernels, so both paths
+# execute the same IEEE-754 operations and agree bit-for-bit.
+
+
+def critical_path_ns_kernel(n_units, base_delay_ns, per_level_delay_ns):
+    """Critical-path delay: fixed datapath delay plus one adder-tree level
+    per doubling of the MAC-unit count (``n_units`` may be an array)."""
+
+    units = np.asarray(n_units, dtype=np.float64)
+    levels = np.where(units > 1.0, np.log2(np.maximum(units, 1.0)), 0.0)
+    return base_delay_ns + per_level_delay_ns * levels
+
+
+def fmax_hz_kernel(critical_path_ns):
+    """Maximum achievable clock frequency from the critical path."""
+
+    return 1e9 / np.asarray(critical_path_ns, dtype=np.float64)
+
+
+def slack_ns_kernel(critical_path_ns, target_hz):
+    """Timing slack against a target clock (positive means closure)."""
+
+    period = 1e9 / np.asarray(target_hz, dtype=np.float64)
+    return period - np.asarray(critical_path_ns, dtype=np.float64)
+
+
+def meets_timing_kernel(critical_path_ns, target_hz):
+    """Boolean closure mask: the critical path fits inside the target period."""
+
+    period = 1e9 / np.asarray(target_hz, dtype=np.float64)
+    return np.asarray(critical_path_ns, dtype=np.float64) <= period
 
 
 @dataclass(frozen=True)
@@ -55,6 +102,16 @@ class TimingReport:
             "slack_ns": self.slack_ns,
         }
 
+    def __str__(self) -> str:
+        """One-line closure summary (the CLI ``timing`` table row)."""
+
+        verdict = "met" if self.meets_timing else "FAILED"
+        return (
+            f"conv_x{self.n_units}: critical path {self.critical_path_ns:.2f} ns, "
+            f"fmax {self.fmax_hz / 1e6:.1f} MHz vs target {self.target_hz / 1e6:.1f} MHz "
+            f"-> {verdict} (slack {self.slack_ns:+.2f} ns)"
+        )
+
 
 class TimingModel:
     """Estimate fmax and timing closure versus MAC-unit count."""
@@ -67,28 +124,57 @@ class TimingModel:
 
         if n_units < 1:
             raise ValueError("n_units must be >= 1")
-        levels = math.log2(n_units) if n_units > 1 else 0.0
-        return self.config.base_delay_ns + self.config.per_level_delay_ns * levels
+        return float(
+            critical_path_ns_kernel(
+                n_units, self.config.base_delay_ns, self.config.per_level_delay_ns
+            )
+        )
 
     def fmax_hz(self, n_units: int) -> float:
         """Maximum achievable clock frequency."""
 
-        return 1e9 / self.critical_path_ns(n_units)
+        return float(fmax_hz_kernel(self.critical_path_ns(n_units)))
 
     def analyze(self, n_units: int, target_hz: float | None = None) -> TimingReport:
         """Full timing report against the target clock (default 100 MHz)."""
 
         target = target_hz if target_hz is not None else self.config.target_clock_hz
         path = self.critical_path_ns(n_units)
-        period = 1e9 / target
         return TimingReport(
             n_units=n_units,
             critical_path_ns=path,
             fmax_hz=self.fmax_hz(n_units),
             target_hz=target,
-            meets_timing=path <= period,
-            slack_ns=period - path,
+            meets_timing=bool(meets_timing_kernel(path, target)),
+            slack_ns=float(slack_ns_kernel(path, target)),
         )
+
+    def analyze_batch(self, n_units, target_hz=None) -> Dict[str, np.ndarray]:
+        """Timing closure over whole ``n_units`` / target-clock axes.
+
+        Returns arrays (broadcast over the inputs) for the critical path,
+        achievable frequency, slack and the closure mask — the column shapes
+        the batch-evaluation engine consumes.  Element-for-element identical
+        to :meth:`analyze` (same kernels in both paths).
+        """
+
+        units = np.asarray(n_units, dtype=np.int64)
+        if units.size and units.min() < 1:
+            raise ValueError("n_units must be >= 1")
+        target = (
+            np.asarray(target_hz, dtype=np.float64)
+            if target_hz is not None
+            else self.config.target_clock_hz
+        )
+        path = critical_path_ns_kernel(
+            units, self.config.base_delay_ns, self.config.per_level_delay_ns
+        )
+        return {
+            "critical_path_ns": path,
+            "fmax_hz": fmax_hz_kernel(path),
+            "slack_ns": slack_ns_kernel(path, target),
+            "meets_timing": meets_timing_kernel(path, target),
+        }
 
     def sweep(self, unit_counts: Iterable[int] = (1, 4, 8, 16, 32)) -> Dict[int, TimingReport]:
         """Timing reports for a sweep of MAC-unit counts."""

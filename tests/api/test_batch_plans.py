@@ -1,0 +1,163 @@
+"""Differential conformance: batch plan/timing columns vs the scalar Evaluator.
+
+Phase 2 of the batch engine replaced the per-unique-key scalar BRAM plans and
+timing closure with closed-form array kernels.  These tests are the
+regression net for that refactor: over randomized scenario grids spanning
+the depth / word-length / Q-format / n_units / clock / board axes, every
+resource and timing column of :func:`sweep_batch` must equal the scalar
+:class:`Evaluator`'s report field-for-field — not approximately, exactly.
+
+The grids come from seeded hypothesis strategies (reproducible, adversarial
+about axis combinations) plus one fixed 200+-scenario random sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Evaluator, Scenario, scenario_grid, sweep, sweep_batch
+from repro.api.batch import RESOURCE_KEYS, TIMING_KEYS
+from repro.core import SUPPORTED_DEPTHS
+from repro.core.execution_model import TABLE5_MODELS
+
+#: The one board the paper evaluates (the axis exists; it has one point).
+BOARD_AXIS = ("PYNQ-Z2",)
+
+
+# -- seeded hypothesis strategies over the scenario axes ---------------------------------
+
+
+@st.composite
+def qformat_axes(draw):
+    """An arbitrary (word_length, fraction_bits) pair a Scenario accepts."""
+
+    word_length = draw(st.integers(min_value=2, max_value=64))
+    fraction_bits = draw(st.integers(min_value=0, max_value=word_length - 1))
+    return word_length, fraction_bits
+
+
+@st.composite
+def scenarios(draw) -> Scenario:
+    word_length, fraction_bits = draw(qformat_axes())
+    return Scenario(
+        model=draw(st.sampled_from(TABLE5_MODELS)),
+        depth=draw(st.sampled_from(SUPPORTED_DEPTHS)),
+        n_units=draw(st.integers(min_value=1, max_value=128)),
+        word_length=word_length,
+        fraction_bits=fraction_bits,
+        solver=draw(st.sampled_from(["euler", "rk4"])),
+        board=draw(st.sampled_from(BOARD_AXIS)),
+        pl_clock_hz=draw(st.sampled_from([50e6, 100e6, 125e6, 142e6, 250e6])),
+    )
+
+
+def random_plan_grid(n: int, seed: int) -> list:
+    """A fixed random sample dense in *distinct plan keys* (formats x units)."""
+
+    rng = np.random.default_rng(seed)
+    grid = []
+    for _ in range(n):
+        word_length = int(rng.integers(2, 65))
+        fraction_bits = int(rng.integers(0, word_length))
+        grid.append(
+            Scenario(
+                model=TABLE5_MODELS[rng.integers(len(TABLE5_MODELS))],
+                depth=SUPPORTED_DEPTHS[rng.integers(len(SUPPORTED_DEPTHS))],
+                n_units=int(rng.integers(1, 129)),
+                word_length=word_length,
+                fraction_bits=fraction_bits,
+                solver=str(rng.choice(["euler", "rk4"])),
+                pl_clock_hz=float(rng.choice([50e6, 100e6, 142e6, 200e6])),
+            )
+        )
+    return grid
+
+
+def assert_plan_columns_match(batch, loop_results) -> None:
+    """Every resource/timing column equals the scalar report, field for field."""
+
+    records = [r.flat_dict() for r in loop_results]
+    for key in RESOURCE_KEYS + TIMING_KEYS:
+        batch_rows = [rec[key] for rec in batch.records()]
+        loop_rows = [rec[key] for rec in records]
+        assert batch_rows == loop_rows, f"column '{key}' diverges from the scalar evaluator"
+
+
+class TestDifferentialConformance:
+    def test_plan_columns_over_200_scenario_random_grid(self):
+        grid = random_plan_grid(220, seed=20260726)
+        # The grid must actually stress the plan axes: count distinct keys.
+        format_keys = {(s.word_length, s.fraction_bits) for s in grid}
+        timing_keys = {(s.n_units, s.pl_clock_hz) for s in grid}
+        assert len(format_keys) > 100
+        assert len(timing_keys) > 100
+        loop = sweep(grid, Evaluator())
+        batch = sweep_batch(grid)
+        assert_plan_columns_match(batch, loop)
+        # ... and the full results agree too (every other column).
+        assert batch.to_results() == loop
+
+    @given(st.lists(scenarios(), min_size=4, max_size=24))
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_plan_columns_on_hypothesis_grids(self, grid):
+        loop = sweep(grid, Evaluator())
+        batch = sweep_batch(grid)
+        assert_plan_columns_match(batch, loop)
+
+    def test_structured_grid_with_explicit_qformat_axis(self):
+        grid = scenario_grid(
+            models=("rODENet-3", "Hybrid-3"),
+            depths=(20, 56),
+            n_units=(3, 16, 33),
+            qformats=((16, 8), (16, 10), (16, 2), (12, 6), (9, 5), (33, 20)),
+        )
+        assert len(grid) == 2 * 2 * 3 * 6
+        loop = sweep(grid, Evaluator())
+        batch = sweep_batch(grid)
+        assert_plan_columns_match(batch, loop)
+        assert batch.to_results() == loop
+
+
+class TestPlanColumnSemantics:
+    """Spot-checks that the kernel-backed columns mean what they claim."""
+
+    def test_bram_grows_with_word_length(self):
+        grid = [
+            Scenario(model="rODENet-3", depth=56, word_length=wl, fraction_bits=wl // 2)
+            for wl in (8, 16, 32, 64)
+        ]
+        bram = sweep_batch(grid).column("bram")
+        assert all(a <= b for a, b in zip(bram, bram[1:]))
+        assert bram[0] < bram[-1]
+
+    def test_meets_timing_tracks_unit_count_at_100mhz(self):
+        grid = [Scenario(model="rODENet-3", depth=56, n_units=n) for n in (1, 16, 32)]
+        meets = sweep_batch(grid).column("meets_timing")
+        assert meets.tolist() == [True, True, False]
+
+    def test_meets_timing_depends_on_clock(self):
+        grid = [
+            Scenario(model="rODENet-3", depth=56, n_units=32, pl_clock_hz=hz)
+            for hz in (50e6, 100e6)
+        ]
+        meets = sweep_batch(grid).column("meets_timing")
+        assert meets.tolist() == [True, False]
+
+    def test_fits_device_fails_for_oversized_bram(self):
+        """64-bit words triple layer3_2's plan; rODENet-3 still fits, the
+        three-block ODENet plan does not."""
+
+        fits = sweep_batch(
+            [
+                Scenario(model="ODENet", depth=56, word_length=64, fraction_bits=32),
+                Scenario(model="ODENet", depth=56, word_length=8, fraction_bits=4),
+            ]
+        ).column("fits_device")
+        assert fits.tolist() == [False, True]

@@ -63,6 +63,20 @@ class TestBlockAllocation:
         with pytest.raises(KeyError):
             plan.region("nonexistent")
 
+    def test_unknown_region_error_lists_available_names(self):
+        plan = plan_block_allocation(LAYER1)
+        with pytest.raises(KeyError) as excinfo:
+            plan.region("nonexistent")
+        message = str(excinfo.value)
+        for name in ("conv1_weights", "conv2_weights", "bn_parameters", "input_fmap"):
+            assert name in message
+
+    def test_unknown_region_error_on_empty_plan(self):
+        from repro.fpga import BramPlan
+
+        with pytest.raises(KeyError, match=r"\(none\)"):
+            BramPlan(block="empty").region("anything")
+
     def test_utilization_percent(self):
         plan = plan_block_allocation(LAYER3_2)
         pct = plan.utilization_percent(ZYNQ_XC7Z020)

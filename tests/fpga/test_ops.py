@@ -31,11 +31,18 @@ class TestHwConv2d:
         out = hw_conv2d(FxArray.from_float(x), FxArray.from_float(w), stride=2)
         assert out.shape == (3, 4, 4)
 
-    def test_requires_single_image(self, rng):
-        x = FxArray.from_float(rng.normal(size=(1, 2, 4, 4)))
+    def test_batch_accepted_and_matches_per_image(self, rng):
+        x = FxArray.from_float(rng.normal(size=(3, 2, 4, 4)))
         w = FxArray.from_float(rng.normal(size=(2, 2, 3, 3)))
-        with pytest.raises(ValueError, match="single"):
-            hw_conv2d(x, w)
+        batched = hw_conv2d(x, w)
+        assert batched.shape == (3, 2, 4, 4)
+        for i in range(3):
+            assert np.array_equal(batched.raw[i], hw_conv2d(x[i], w).raw)
+
+    def test_rejects_non_image_rank(self, rng):
+        w = FxArray.from_float(rng.normal(size=(2, 2, 3, 3)))
+        with pytest.raises(ValueError, match="batch"):
+            hw_conv2d(FxArray.from_float(rng.normal(size=(4, 4))), w)
 
     def test_channel_mismatch(self, rng):
         x = FxArray.from_float(rng.normal(size=(3, 4, 4)))

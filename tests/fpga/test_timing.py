@@ -55,3 +55,25 @@ class TestTimingModelBehaviour:
         config = TimingModelConfig(base_delay_ns=50.0)
         with pytest.raises(RuntimeError):
             TimingModel(config).max_units_meeting_timing(candidates=(8, 16))
+
+
+class TestTimingReportStr:
+    """__str__ is the CLI `timing` table row; pin its load-bearing content."""
+
+    def test_passing_report_mentions_met_and_positive_slack(self):
+        line = str(TimingModel().analyze(16))
+        assert "conv_x16" in line
+        assert "met" in line
+        assert "+0.20 ns" in line
+        assert "102.0 MHz" in line
+
+    def test_failing_report_mentions_failed_and_negative_slack(self):
+        line = str(TimingModel().analyze(32))
+        assert "conv_x32" in line
+        assert "FAILED" in line
+        assert "-1.00 ns" in line
+
+    def test_str_reflects_custom_target_clock(self):
+        line = str(TimingModel().analyze(32, target_hz=50e6))
+        assert "50.0 MHz" in line
+        assert "met" in line
