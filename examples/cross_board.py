@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Cross-board design-space study: which board serves rODENet best?
+
+Three questions the platform layer answers in one script:
+
+1. **Design space per board** — sweep models x depths x MAC units over every
+   registered board on the batch engine and print each board's Pareto front
+   (prediction latency vs per-prediction energy).
+2. **Feasibility frontier** — the largest MAC-unit count that fits and
+   closes timing per board (the XC7Z020 tops out where the paper says;
+   bigger/faster fabrics go further).
+3. **Serving under identical traffic** — the same Poisson trace offered to
+   each board with auto-sized replicas and cores (the `repro.sim` budget is
+   per-board), comparing p95 latency and energy per request.
+
+Usage::
+
+    PYTHONPATH=src python examples/cross_board.py            # full
+    PYTHONPATH=src python examples/cross_board.py --quick    # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.api import Evaluator, Scenario, SimScenario, scenario_grid, simulate, sweep_batch
+from repro.platform import get_board, list_boards
+
+
+def design_space(quick: bool) -> None:
+    boards = list_boards()
+    grid = scenario_grid(
+        models=("rODENet-3", "Hybrid-3") if quick else ("rODENet-1", "rODENet-1+2", "rODENet-3", "Hybrid-3"),
+        depths=(20, 56) if quick else (20, 32, 44, 56),
+        n_units=(8, 16) if quick else (1, 4, 8, 16, 32, 64),
+        boards=boards,
+    )
+    table = sweep_batch(grid)
+    print(f"== design space: {len(grid)} scenarios over {len(boards)} boards ==")
+    fronts = table.pareto_fronts("total_w_pl_s", "energy_with_pl_J")
+    for name, front in fronts.items():
+        spec = get_board(name)
+        best = front.record(0)
+        print(
+            f"{name:<12} ({spec.fpga.name:<22}): {len(front)} Pareto point(s); "
+            f"fastest {best['model']}-{best['depth']} conv_x{best['n_units']}: "
+            f"{best['total_w_pl_s']:.3f} s, {best['energy_with_pl_J']:.3f} J, "
+            f"feasible={bool(best['fits_device'] and best['meets_timing'])}"
+        )
+
+
+def feasibility(quick: bool) -> None:
+    ev = Evaluator()
+    candidates = (8, 16, 32) if quick else (1, 2, 4, 8, 16, 32, 64)
+    print("\n== feasibility: largest conv_xN that fits and closes timing ==")
+    for name in list_boards():
+        feasible = [
+            n
+            for n in candidates
+            if (r := ev.evaluate(Scenario(n_units=n, board=name))).resources["fits_device"]
+            and r.resources["meets_timing"]
+        ]
+        print(f"{name:<12}: conv_x{max(feasible)}" if feasible else f"{name:<12}: none")
+
+
+def serving(quick: bool) -> None:
+    ev = Evaluator()
+    n_requests = 40 if quick else 300
+    print(f"\n== serving: one Poisson trace ({n_requests} requests @ 4 req/s) per board ==")
+    for name in list_boards():
+        report = simulate(
+            SimScenario(
+                model="rODENet-1", depth=20, board=name,
+                arrival="poisson", arrival_rate_hz=4.0, n_requests=n_requests,
+                replicas=0, ps_cores=0, policy="batched", seed=42,
+                warmup_s=0.0 if quick else 5.0,
+            ),
+            evaluator=ev,
+        )
+        s = report.scenario
+        print(
+            f"{name:<12}: {s['replicas']} replica(s), {s['ps_cores']} core(s); "
+            f"p95 {report.latency.percentiles[95]:.3f} s, "
+            f"throughput {report.throughput_rps:.2f} req/s, "
+            f"{report.energy['energy_per_request_J']:.3f} J/req"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small axes (CI smoke)")
+    args = parser.parse_args()
+    design_space(args.quick)
+    feasibility(args.quick)
+    serving(args.quick)
+
+
+if __name__ == "__main__":
+    main()

@@ -36,7 +36,7 @@ import numpy as np
 
 from ..fixedpoint.errors import error_report, odeblock_error_bound
 from ..fixedpoint.qformat import QFormat
-from ..fpga.axi import AxiTransferModel
+from ..fpga.axi import AxiTransferConfig, AxiTransferModel
 from ..fpga.bram import bram_fits_kernel, bram_tiles_kernel
 from ..fpga.cycles import OdeBlockCycleModel
 from ..fpga.device import BoardSpec, PYNQ_Z2
@@ -289,10 +289,14 @@ def accuracy_sweep(
     stages = _float_forward(weights, z, stride=geometry.stride)
     reference = stages["output"]
 
-    # Cost/feasibility columns are closed-form kernels over the unit axis.
+    # Cost/feasibility columns are closed-form kernels over the unit axis,
+    # with every board-derived constant (AXI clock, fabric delay scale,
+    # timing target) taken from the board spec.
     cycle_model = OdeBlockCycleModel()
-    transfer_s = AxiTransferModel().block_round_trip(geometry).seconds
-    timing = TimingModel().analyze_batch(unit_list, target_hz=board.pl_clock_hz)
+    transfer_s = (
+        AxiTransferModel(AxiTransferConfig.for_board(board)).block_round_trip(geometry).seconds
+    )
+    timing = TimingModel.for_board(board).analyze_batch(unit_list, target_hz=board.pl_clock_hz)
 
     points: List[AccuracyPoint] = []
     for fmt in format_list:

@@ -6,7 +6,8 @@ thousands.  This module computes the same analytic models (parameter counts,
 the cycle/time model, AXI transfer, resource and power/energy estimates, the
 training projection) over whole scenario *axes* as NumPy arrays:
 
-* per-scenario quantities (MAC units, Q-format, PL clock, solver stages) are
+* per-scenario quantities (MAC units, Q-format, PL/PS clocks, solver stages,
+  the board's device vector — fabric totals, delay scale, wattages) are
   evaluated with the array-capable kernels the scalar models now expose
   (:func:`repro.core.execution_model.pl_layer_seconds_kernel`,
   :func:`repro.fpga.resources.lut_count_kernel`,
@@ -39,6 +40,7 @@ over a ``ProcessPoolExecutor``.  An optional persistent
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 import json
 import pickle
@@ -72,12 +74,12 @@ from ..fpga.resources import (
     ff_count_kernel,
     lut_count_kernel,
 )
-from ..fpga.device import PYNQ_Z2
+from ..platform import DEFAULT_BOARD, PowerProfile, get_board
 from ..fpga.timing import TimingModel, critical_path_ns_kernel, meets_timing_kernel
 from ..hwsw.ps_model import work_time_kernel
 from ..ode.solvers import get_solver
 from .result import Result, _flatten_value
-from .scenario import BOARDS, Scenario
+from .scenario import Scenario
 
 __all__ = ["BatchResult", "sweep_batch", "pareto_indices"]
 
@@ -144,11 +146,15 @@ def _py(value):
 
 
 class _BatchContext:
-    """Scalar per-layer constants plus caches over the few unique sweep keys.
+    """Board-independent per-layer constants plus caches over the few unique
+    sweep keys.
 
-    Everything here reproduces what one default :class:`Evaluator` would
-    derive: the shared software model, the paper's AXI transfer assumption,
-    the default cycle/resource/power/training calibration constants.
+    Everything here reproduces what one :class:`Evaluator` would derive,
+    split along the board axis: *cycle counts* (software work, AXI words)
+    are stored clock-free and divided by per-scenario clock columns in
+    :func:`_compute_columns`; structural facts (the Table-4 layer plans,
+    offload targets, accuracy points) are cached per unique key and
+    broadcast by integer codes.
     """
 
     def __init__(self) -> None:
@@ -161,19 +167,27 @@ class _BatchContext:
         ps = self.execution_model.software_model
         self.ps_config = ps.config
         self.cycle_config = self.execution_model.cycle_model.config
-        self.overhead = ps.per_image_overhead()
-        self.software_seconds = {
-            layer: self.execution_model.software_layer_seconds(layer) for layer in LAYER_ORDER
-        }
+        #: Reference per-image overhead (seconds at the reference PS clock);
+        #: scaled per board by the clock ratio, exactly like
+        #: :meth:`repro.hwsw.ps_model.PsModelConfig.for_board`.
+        self.base_overhead = ps.per_image_overhead()
+        #: Clock-free PS cycles of one layer-group execution.
+        self.software_cycles: Dict[str, float] = {}
+        for layer in LAYER_ORDER:
+            geom = layer_geometry(layer)
+            self.software_cycles[layer] = ps.work_cycles(
+                geom.macs, geom.out_elements, geom.elementwise_passes
+            )
         self.geometries = {
             layer: layer_geometry(layer).fpga_geometry() for layer in OFFLOADABLE_LAYER_NAMES
         }
-        self.transfer_seconds = {
-            layer: self.execution_model.transfer_model.block_round_trip(geom).seconds
+        #: Clock-free AXI cycles of one block round trip.
+        self.transfer_cycles = {
+            layer: self.execution_model.transfer_model.block_round_trip(geom).cycles
             for layer, geom in self.geometries.items()
         }
         self._variant_cache: Dict[Tuple[str, int], dict] = {}
-        self._baseline_cache: Dict[int, float] = {}
+        self._resnet_exec_cache: Dict[int, Tuple[int, ...]] = {}
 
     def variant_facts(self, model: str, depth: int) -> dict:
         key = (model, depth)
@@ -202,20 +216,22 @@ class _BatchContext:
             ),
             "param_count": variant_parameter_count(variant, depth),
             "accuracy": accuracy,
-            "baseline": self.resnet_baseline(depth),
         }
         return self._variant_cache.setdefault(key, facts)
 
-    def resnet_baseline(self, depth: int) -> float:
-        """Software ResNet-N total (board-independent: the PL is never used)."""
+    def resnet_exec(self, depth: int) -> Tuple[int, ...]:
+        """ResNet-N execution counts per layer (the speedup baseline's shape).
+
+        Board-free: the baseline's *seconds* are assembled per scenario from
+        these counts and the per-board PS clock column.
+        """
 
         try:
-            return self._baseline_cache[depth]
+            return self._resnet_exec_cache[depth]
         except KeyError:
-            report = self.execution_model.report(
-                "ResNet", depth, offload_targets=(), solver_stages=1
-            )
-            return self._baseline_cache.setdefault(depth, report.total_without_pl)
+            spec = variant_spec("ResNet", depth)
+            counts = tuple(spec.plan(layer).total_executions for layer in LAYER_ORDER)
+            return self._resnet_exec_cache.setdefault(depth, counts)
 
 
 
@@ -274,6 +290,14 @@ def _compute_columns(scenarios: Sequence[Scenario]) -> Dict[str, object]:
     # One storage-width array serves both the BRAM kernel and param_bytes.
     bpv = np.array([QFormat(wl, fb).bytes_per_value for wl, fb in qf_keys], dtype=np.int64)[qf_codes]
 
+    # -- per-board device vectors (the platform axis, broadcast by codes) ---------------
+    boards = [get_board(name) for name in bd_keys]
+    ps_clock = np.array([b.ps_clock_hz for b in boards], dtype=np.float64)[bd_codes]
+    fabric_scale = np.array([b.fabric_delay_scale for b in boards], dtype=np.float64)[bd_codes]
+    # Per-image overhead scales with the PS clock, exactly like
+    # PsModelConfig.for_board (ratio is exactly 1.0 on the reference board).
+    overhead = ctx.base_overhead * (DEFAULT_BOARD.ps_clock_hz / ps_clock)
+
     def broadcast(values, dtype=None) -> np.ndarray:
         """Per-unique (model, depth) values -> a per-scenario column."""
 
@@ -291,6 +315,7 @@ def _compute_columns(scenarios: Sequence[Scenario]) -> Dict[str, object]:
     # -- per-layer time columns (the Table-5 row, vectorized) ---------------------------
     rc = ctx.resource_config
     exec0_cols: Dict[str, np.ndarray] = {}
+    sw_per_exec: Dict[str, np.ndarray] = {}
     sw_cols: Dict[str, np.ndarray] = {}
     acc_cols: Dict[str, np.ndarray] = {}
     pl_cols: Dict[str, np.ndarray] = {}
@@ -300,11 +325,15 @@ def _compute_columns(scenarios: Sequence[Scenario]) -> Dict[str, object]:
     for i, layer in enumerate(LAYER_ORDER):
         exec0_col = exec0_table[md_codes, i]
         execs = exec0_col * np.where(ode_table[md_codes, i], stages, 1)
-        sw_col = execs * ctx.software_seconds[layer]
+        # Clock-free layer cycles over the per-board PS clock column — the
+        # same (cycles / clock) expression the scalar work_time_kernel runs.
+        per_exec = ctx.software_cycles[layer] / ps_clock
+        sw_col = execs * per_exec
         if layer in OFFLOADABLE_LAYER_NAMES:
             offl = target_table[md_codes, i]
+            transfer_seconds = ctx.transfer_cycles[layer] / clock
             pl_per_exec = pl_layer_seconds_kernel(
-                ctx.geometries[layer], units, clock, ctx.cycle_config, ctx.transfer_seconds[layer]
+                ctx.geometries[layer], units, clock, ctx.cycle_config, transfer_seconds
             )
             acc_col = np.where(offl, execs * pl_per_exec, sw_col)
             pl_cols[layer] = pl_per_exec
@@ -312,16 +341,25 @@ def _compute_columns(scenarios: Sequence[Scenario]) -> Dict[str, object]:
         else:
             acc_col = sw_col
         exec0_cols[layer] = exec0_col
+        sw_per_exec[layer] = per_exec
         sw_cols[layer] = sw_col
         acc_cols[layer] = acc_col
         total_wo = total_wo + sw_col
         total_w = total_w + acc_col
-    total_wo = total_wo + ctx.overhead
-    total_w = total_w + ctx.overhead
+    total_wo = total_wo + overhead
+    total_w = total_w + overhead
 
     has_targets = target_table[md_codes].any(axis=1)
     overall_speedup = np.where(has_targets, total_wo / total_w, 1.0)
-    speedup_vs_resnet = broadcast([f["baseline"] for f in facts], np.float64) / total_w
+    # ResNet-N software baseline per scenario: per-depth execution counts
+    # over this row's board clock (the scalar evaluator's _resnet_baseline).
+    dp_codes, dp_keys = _codes([s.depth for s in scenarios])
+    resnet_exec_table = np.array([ctx.resnet_exec(d) for d in dp_keys], dtype=np.int64)
+    baseline = np.zeros(n, dtype=np.float64)
+    for i, layer in enumerate(LAYER_ORDER):
+        baseline = baseline + resnet_exec_table[dp_codes, i] * sw_per_exec[layer]
+    baseline = baseline + overhead
+    speedup_vs_resnet = baseline / total_w
 
     # -- resources ---------------------------------------------------------------------
     dsp_per_layer = dsp_count_kernel(units, rc.dsp_base, rc.dsp_per_unit)
@@ -344,12 +382,11 @@ def _compute_columns(scenarios: Sequence[Scenario]) -> Dict[str, object]:
             ff_count_kernel(units, geom.out_channels, rc.ff_base, rc.ff_per_unit, rc.ff_per_unit_per_channel),
             0.0,
         )
-    devices = [BOARDS[name].fpga for name in bd_keys]
     totals = {
-        "bram": np.array([d.bram36 for d in devices], dtype=np.float64)[bd_codes],
-        "dsp": np.array([d.dsp for d in devices], dtype=np.float64)[bd_codes],
-        "lut": np.array([d.lut for d in devices], dtype=np.float64)[bd_codes],
-        "ff": np.array([d.ff for d in devices], dtype=np.float64)[bd_codes],
+        "bram": np.array([b.fpga.bram36 for b in boards], dtype=np.float64)[bd_codes],
+        "dsp": np.array([b.fpga.dsp for b in boards], dtype=np.float64)[bd_codes],
+        "lut": np.array([b.fpga.lut for b in boards], dtype=np.float64)[bd_codes],
+        "ff": np.array([b.fpga.ff for b in boards], dtype=np.float64)[bd_codes],
     }
     pct = {k: 100.0 * res[k] / totals[k] for k in res}
     fits = (
@@ -358,33 +395,47 @@ def _compute_columns(scenarios: Sequence[Scenario]) -> Dict[str, object]:
         & (res["lut"] <= totals["lut"])
         & (res["ff"] <= totals["ff"])
     )
-    # Closed-form timing closure over the n_units x clock axes (phase 2);
-    # same kernels as TimingModel.analyze, so scalar and batch paths agree
+    # Closed-form timing closure over the n_units x clock x board axes; the
+    # per-board fabric scale multiplies both delay constants, exactly like
+    # TimingModelConfig.for_board, so scalar and batch paths agree
     # bit-for-bit.
     timing_cfg = ctx.timing_model.config
     critical_path = critical_path_ns_kernel(
-        units, timing_cfg.base_delay_ns, timing_cfg.per_level_delay_ns
+        units,
+        timing_cfg.base_delay_ns * fabric_scale,
+        timing_cfg.per_level_delay_ns * fabric_scale,
     )
     meets = meets_timing_kernel(critical_path, clock)
 
     # -- energy ------------------------------------------------------------------------
+    # Per-board wattage columns wearing the PowerModelConfig interface: the
+    # kernels only read the config's attributes, so arrays broadcast through
+    # the same formulas the scalar PowerModel runs.  Fields are enumerated
+    # from PowerProfile (whose names PowerModelConfig must mirror — a new
+    # profile coefficient without its twin raises TypeError here).
+    power_cfg = PowerModelConfig(
+        **{
+            f.name: np.array([getattr(b.power, f.name) for b in boards])[bd_codes]
+            for f in dataclasses.fields(PowerProfile)
+        }
+    )
     pl_busy = np.zeros(n, dtype=np.float64)
     for layer in OFFLOADABLE_LAYER_NAMES:
         pl_busy = pl_busy + np.where(offl_cols[layer], acc_cols[layer], 0.0)
-    energy_without = energy_without_pl_kernel(total_wo, ctx.power_config) + 0.0
-    ps_energy = ps_energy_with_pl_kernel(total_w, pl_busy, ctx.power_config)
-    pl_energy = pl_power_kernel(res["dsp"], res["bram"], ctx.power_config) * total_w
+    energy_without = energy_without_pl_kernel(total_wo, power_cfg) + 0.0
+    ps_energy = ps_energy_with_pl_kernel(total_w, pl_busy, power_cfg)
+    pl_energy = pl_power_kernel(res["dsp"], res["bram"], power_cfg) * total_w
     energy_with = ps_energy + pl_energy
     energy_ratio = np.where(energy_with != 0.0, energy_without / energy_with, np.inf)
 
     # -- training (the future-work projection) -----------------------------------------
     tc = ctx.training_config
     factor = 1.0 + tc.backward_mac_factor
-    train_sw = np.full(n, ctx.overhead, dtype=np.float64)
-    train_off = np.full(n, ctx.overhead, dtype=np.float64)
+    train_sw = overhead + np.zeros(n, dtype=np.float64)
+    train_off = overhead + np.zeros(n, dtype=np.float64)
     target_sw = np.zeros(n, dtype=np.float64)
     for i, layer in enumerate(LAYER_ORDER):
-        sw_train = exec0_cols[layer] * (ctx.software_seconds[layer] * factor)
+        sw_train = exec0_cols[layer] * (sw_per_exec[layer] * factor)
         train_sw = train_sw + sw_train
         if layer in OFFLOADABLE_LAYER_NAMES:
             train_offl = train_target_table[md_codes, i]
@@ -397,7 +448,7 @@ def _compute_columns(scenarios: Sequence[Scenario]) -> Dict[str, object]:
     ps_cfg = ctx.ps_config
     update = work_time_kernel(
         0.0, param_count, tc.optimizer_passes,
-        ps_cfg.cycles_per_mac, ps_cfg.cycles_per_element, ps_cfg.clock_hz,
+        ps_cfg.cycles_per_mac, ps_cfg.cycles_per_element, ps_clock,
     )
     train_sw = train_sw + update
     train_off = train_off + update
@@ -672,6 +723,32 @@ class BatchResult:
         )
         return self.take(idx)
 
+    def pareto_fronts(
+        self,
+        x: str,
+        y: str,
+        by: str = "board",
+        maximize_x: bool = False,
+        maximize_y: bool = False,
+    ) -> Dict[object, "BatchResult"]:
+        """One Pareto front per distinct value of the ``by`` column.
+
+        The cross-board view: ``pareto_fronts("total_w_pl_s",
+        "energy_with_pl_J")`` answers "which design points are undominated
+        *on each board*", keyed by board name (or any other grouping
+        column).  Groups appear in first-occurrence order.
+        """
+
+        members: Dict[object, List[int]] = {}
+        for i, group in enumerate(self.column(by)):
+            members.setdefault(_py(group), []).append(i)
+        return {
+            key: self.take(idx).pareto_front(
+                x, y, maximize_x=maximize_x, maximize_y=maximize_y
+            )
+            for key, idx in members.items()
+        }
+
 
 def pareto_indices(xs, ys, maximize_x: bool = False, maximize_y: bool = False) -> np.ndarray:
     """Indices of the 2-D Pareto front, sorted by the x metric.
@@ -704,14 +781,13 @@ def _vectorizable(scenario: Scenario) -> bool:
 
     The kernels reproduce exactly the behaviour of :class:`Scenario` proper,
     so subclasses (which may override derived properties the vector path
-    would not see) take the loop-engine fallback.  So does any board other
-    than the paper's PYNQ-Z2: the shared :class:`_BatchContext` derives its
-    per-layer constants once from the default board, which is provably
-    equivalent today but would silently go stale if :data:`BOARDS` grew an
-    entry whose models differ.
+    would not see) take the loop-engine fallback.  Any registered board is
+    vectorizable: every board-derived quantity (clocks, fabric totals and
+    delay scale, wattages) is broadcast from its :class:`BoardSpec` as a
+    per-scenario column, so the board axis needs no fallback.
     """
 
-    return type(scenario) is Scenario and scenario.board == PYNQ_Z2.name
+    return type(scenario) is Scenario
 
 
 def _evaluate_rows(scenarios: Sequence[Scenario]) -> List[Dict]:

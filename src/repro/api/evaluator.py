@@ -91,7 +91,10 @@ class Evaluator:
         try:
             return self._power_models[key]
         except KeyError:
-            model = PowerModel(execution_model=self._execution_model(scenario))
+            model = PowerModel(
+                execution_model=self._execution_model(scenario),
+                board=scenario.board_spec,
+            )
             return self._power_models.setdefault(key, model)
 
     def _training_model(self, scenario: Scenario) -> TrainingTimeModel:
@@ -326,13 +329,24 @@ class Evaluator:
         return accuracy_sweep(*args, **kwargs)
 
     def timing_reports(
-        self, unit_counts: Sequence[int] = (1, 4, 8, 16, 32), target_hz: float | None = None
+        self,
+        unit_counts: Sequence[int] = (1, 4, 8, 16, 32),
+        target_hz: float | None = None,
+        board: str | None = None,
     ) -> List:
-        """Timing-closure reports over a MAC-unit sweep (the CLI ``timing`` table)."""
+        """Timing-closure reports over a MAC-unit sweep (the CLI ``timing`` table).
 
+        ``board`` selects a registered board's fabric scale and clock target
+        (default: the reference PYNQ-Z2); an explicit ``target_hz`` still
+        overrides the board's clock.
+        """
+
+        from ..platform import get_board
         from ..fpga.timing import TimingModel
 
-        model = TimingModel()
+        model = (
+            TimingModel.for_board(get_board(board)) if board is not None else TimingModel()
+        )
         return [model.analyze(n, target_hz=target_hz) for n in unit_counts]
 
     # -- cache introspection (useful in tests and tuning) ------------------------------

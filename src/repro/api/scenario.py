@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.execution_model import PAPER_OFFLOAD_TARGETS, TABLE5_MODELS
 from ..core.variants import SUPPORTED_DEPTHS, VARIANT_NAMES, variant_spec
 from ..fixedpoint.qformat import QFormat
-from ..fpga.device import PYNQ_Z2, BoardSpec
+from ..platform import BOARDS, BoardSpec, PYNQ_Z2, get_board, list_boards
 from ..ode.solvers import available_methods, get_solver
 
 __all__ = [
@@ -46,9 +46,6 @@ __all__ = [
 #: Model names a scenario accepts: the Table-4 variants plus the Table-5 row
 #: name "ODENet-3" (ODENet-N with only layer3_2 offloaded).
 SCENARIO_MODELS: Tuple[str, ...] = tuple(VARIANT_NAMES) + ("ODENet-3",)
-
-#: Boards a scenario can target (the paper evaluates one).
-BOARDS: Dict[str, BoardSpec] = {PYNQ_Z2.name: PYNQ_Z2}
 
 #: Conventional fraction bits per word length (the paper's Q20 at 32 bits and
 #: the footnote-2 reduced-precision formats).  Used when a grid axis names a
@@ -107,10 +104,17 @@ class Scenario:
             )
         object.__setattr__(self, "solver", solver_key)
 
-        if self.board not in BOARDS:
-            raise ValueError(f"unknown board '{self.board}'; known: {tuple(BOARDS)}")
+        try:
+            spec = get_board(self.board)
+        except KeyError:
+            # Mirror BramPlan.region()'s style: name the miss, list what is
+            # registered (ValueError here — construction-argument validation).
+            available = ", ".join(list_boards()) or "(none)"
+            raise ValueError(
+                f"unknown board '{self.board}'; registered boards: {available}"
+            ) from None
         if self.pl_clock_hz is None:
-            object.__setattr__(self, "pl_clock_hz", BOARDS[self.board].pl_clock_hz)
+            object.__setattr__(self, "pl_clock_hz", spec.pl_clock_hz)
         elif self.pl_clock_hz <= 0:
             raise ValueError("pl_clock_hz must be positive")
 
@@ -134,7 +138,7 @@ class Scenario:
     def board_spec(self) -> BoardSpec:
         """The board, with the PL clock overridden when the scenario asks."""
 
-        base = BOARDS[self.board]
+        base = get_board(self.board)
         if self.pl_clock_hz == base.pl_clock_hz:
             return base
         return dataclasses.replace(base, pl_clock_hz=self.pl_clock_hz)
@@ -152,8 +156,17 @@ class Scenario:
     # -- conversion ------------------------------------------------------------------
 
     def replace(self, **changes) -> "Scenario":
-        """A copy of this scenario with some knobs changed (re-validated)."""
+        """A copy of this scenario with some knobs changed (re-validated).
 
+        Changing ``board`` re-derives a *defaulted* ``pl_clock_hz`` from the
+        new board (the resolved clock is only kept when it was an explicit
+        override of the old board's default) — otherwise every board swap
+        would silently freeze the old board's clock into the copy.
+        """
+
+        if "board" in changes and "pl_clock_hz" not in changes:
+            if self.pl_clock_hz == get_board(self.board).pl_clock_hz:
+                changes["pl_clock_hz"] = None
         return dataclasses.replace(self, **changes)
 
     def as_dict(self) -> Dict[str, object]:
@@ -203,11 +216,12 @@ def scenario_grid(
     solvers: Sequence[str] = ("euler",),
     fraction_bits: Optional[int] = None,
     qformats: Optional[Sequence[Tuple[int, int]]] = None,
+    boards: Optional[Sequence[str]] = None,
     **common,
 ) -> List[Scenario]:
     """Cartesian product of knob axes as a list of validated scenarios.
 
-    The iteration order is deterministic (models outermost, solvers
+    The iteration order is deterministic (models outermost, boards
     innermost) so sweep outputs are stable row-for-row.  ``common`` passes
     fixed fields (e.g. ``board=...``) to every scenario.
 
@@ -217,6 +231,11 @@ def scenario_grid(
     e.g. the million-key plan-kernel grids — from ``qformats``, an explicit
     sequence of ``(word_length, fraction_bits)`` pairs that then replaces
     the ``word_lengths`` axis.
+
+    ``boards`` makes the platform a sweep axis: every registered board name
+    (see :func:`repro.platform.list_boards`) is crossed with the other
+    knobs.  It replaces a fixed ``board=...`` in ``common`` (passing both
+    is an error).
     """
 
     if qformats is not None:
@@ -225,21 +244,30 @@ def scenario_grid(
         format_axis = [(int(wl), int(fb)) for wl, fb in qformats]
     else:
         format_axis = [(wl, fraction_bits_for(wl, fraction_bits)) for wl in word_lengths]
+    if boards is not None:
+        if "board" in common:
+            raise ValueError("pass either boards (an axis) or board (a fixed knob), not both")
+        board_axis: List[Optional[str]] = [str(b) for b in boards]
+    else:
+        board_axis = [common.pop("board")] if "board" in common else [None]
     grid: List[Scenario] = []
     for model in models:
         for depth in depths:
             for units in n_units:
                 for wl, fb in format_axis:
                     for solver in solvers:
-                        grid.append(
-                            Scenario(
-                                model=model,
-                                depth=depth,
-                                n_units=units,
-                                word_length=wl,
-                                fraction_bits=fb,
-                                solver=solver,
-                                **common,
+                        for board in board_axis:
+                            board_kw = {} if board is None else {"board": board}
+                            grid.append(
+                                Scenario(
+                                    model=model,
+                                    depth=depth,
+                                    n_units=units,
+                                    word_length=wl,
+                                    fraction_bits=fb,
+                                    solver=solver,
+                                    **board_kw,
+                                    **common,
+                                )
                             )
-                        )
     return grid

@@ -58,6 +58,7 @@ from .api import sweep as run_sweep
 from .api.sweep import SweepError
 from .core import SUPPORTED_DEPTHS
 from .ode.solvers import available_methods
+from .platform import BOARDS, PYNQ_Z2
 
 __all__ = ["build_parser", "main", "command", "registered_commands"]
 
@@ -175,6 +176,32 @@ def _cmd_figure6(args, evaluator: Evaluator) -> CommandOutput:
     return CommandOutput(format_series(series, title="Figure 6: accuracy [%]"), series)
 
 
+# -- platform commands ------------------------------------------------------------------
+
+
+@command("boards", help="registered PS+PL boards (the platform registry)")
+def _cmd_boards(args, evaluator: Evaluator) -> CommandOutput:
+    records = []
+    for name, b in BOARDS.items():
+        records.append(
+            {
+                "board": name,
+                "fpga": b.fpga.name,
+                "bram36": b.fpga.bram36,
+                "dsp": b.fpga.dsp,
+                "lut": b.fpga.lut,
+                "ff": b.fpga.ff,
+                "ps": f"{b.ps_cores}x {b.ps_clock_mhz:.0f}MHz",
+                "dram_mb": b.dram_mb,
+                "pl_mhz": round(b.pl_clock_mhz, 1),
+                "ps_active_w": b.power.ps_active_w,
+                "pl_static_w": b.power.pl_static_w,
+            }
+        )
+    text = format_records(records, title=f"Registered boards ({len(records)})")
+    return CommandOutput(text, records)
+
+
 # -- scenario commands ------------------------------------------------------------------
 
 
@@ -240,6 +267,23 @@ def _add_scenario_knobs(p: argparse.ArgumentParser) -> None:
         help="fixed-point fraction bits (defaults to the conventional Q-format)",
     )
     p.add_argument("--solver", choices=available_methods(), default="euler")
+    p.add_argument(
+        "--board",
+        default=PYNQ_Z2.name,
+        help="target board from the platform registry (see the 'boards' subcommand); "
+        "the sim subcommand also accepts a comma-separated list to compare boards "
+        "under the same trace",
+    )
+
+
+def _parse_board_names(value, flag: str) -> List[str]:
+    """Split ``--boards``-style values (repeated and/or comma-separated)."""
+
+    entries = value if isinstance(value, list) else [value]
+    names = [name for entry in entries for name in str(entry).split(",") if name]
+    if not names:
+        raise ValueError(f"{flag} needs at least one board name")
+    return names
 
 
 def _configure_eval(p: argparse.ArgumentParser) -> None:
@@ -258,6 +302,7 @@ def _cmd_eval(args, evaluator: Evaluator) -> CommandOutput:
         word_length=args.wordlength,
         fraction_bits=fraction_bits_for(args.wordlength, args.fraction_bits),
         solver=args.solver,
+        board=args.board,
     )
     result = evaluator.evaluate(scenario)
     return CommandOutput(result.render(), result.as_dict())
@@ -282,6 +327,11 @@ def _configure_sweep(p: argparse.ArgumentParser) -> None:
         "--wordlengths; lets both knobs vary independently)",
     )
     p.add_argument("--solvers", nargs="*", choices=available_methods(), default=["euler"])
+    p.add_argument(
+        "--boards", nargs="*", default=None, metavar="BOARD[,BOARD...]",
+        help="board axis: registered board names, space- and/or comma-separated "
+        "(see the 'boards' subcommand; default: PYNQ-Z2 only)",
+    )
     p.add_argument("--workers", type=int, default=1, help="thread-pool width for the loop engine")
     p.add_argument(
         "--engine",
@@ -332,6 +382,8 @@ def _cmd_sweep(args, evaluator: Evaluator) -> CommandOutput:
         axes["fraction_bits"] = None
     if args.models is not None:
         axes["models"] = args.models
+    if args.boards is not None:
+        axes["boards"] = _parse_board_names(args.boards, flag="--boards")
     grid = scenario_grid(**axes)
     if args.cache_dir is not None and args.engine != "batch":
         raise ValueError("--cache-dir requires --engine batch")
@@ -411,8 +463,16 @@ def _configure_sim(p: argparse.ArgumentParser) -> None:
     p.add_argument("--policy", choices=("fifo", "batched", "round_robin"), default="fifo")
     p.add_argument("--batch-size", type=int, default=4, help="max batch per replica (--policy batched)")
     p.add_argument("--seed", type=int, default=0, help="PRNG seed (Poisson arrivals, mix sampling)")
-    p.add_argument("--ps-cores", type=int, default=1, help="PS cores serving software phases")
+    p.add_argument(
+        "--ps-cores", default="1",
+        help="PS cores serving software phases, or 'auto' for the board's core count",
+    )
     p.add_argument("--dma-channels", type=int, default=1, help="concurrent AXI DMA bursts")
+    p.add_argument(
+        "--warmup", type=float, default=0.0,
+        help="drop requests arriving before this simulated time from the latency "
+        "percentiles and measure utilisation/energy from there on (transient trim)",
+    )
     p.add_argument(
         "--mix", nargs="*", default=None, metavar="MODEL:DEPTH[:WEIGHT]",
         help="weighted per-request architecture mix sharing the same PL hardware",
@@ -451,6 +511,16 @@ def _cmd_sim(args, evaluator: Evaluator) -> CommandOutput:
             raise ValueError(
                 f"--replicas must be a non-negative integer or 'auto' (got {args.replicas!r})"
             )
+    if args.ps_cores == "auto":
+        ps_cores = 0
+    else:
+        try:
+            ps_cores = int(args.ps_cores)
+        except ValueError:
+            raise ValueError(
+                f"--ps-cores must be a non-negative integer or 'auto' (got {args.ps_cores!r})"
+            )
+    boards = _parse_board_names(args.board, flag="--board")
     scenario = SimScenario(
         model=args.model,
         depth=args.depth,
@@ -458,6 +528,7 @@ def _cmd_sim(args, evaluator: Evaluator) -> CommandOutput:
         word_length=args.wordlength,
         fraction_bits=fraction_bits_for(args.wordlength, args.fraction_bits),
         solver=args.solver,
+        board=boards[0],
         arrival=args.arrivals,
         arrival_rate_hz=args.rate,
         n_requests=args.requests,
@@ -467,9 +538,12 @@ def _cmd_sim(args, evaluator: Evaluator) -> CommandOutput:
         policy=args.policy,
         batch_size=args.batch_size,
         seed=args.seed,
-        ps_cores=args.ps_cores,
+        ps_cores=ps_cores,
         dma_channels=args.dma_channels,
+        warmup_s=args.warmup,
     )
+    if len(boards) > 1:
+        return _sim_board_comparison(scenario, boards, args, evaluator)
     mix = _parse_mix(args.mix, scenario) if args.mix else None
     report = simulate(scenario, evaluator=evaluator, mix=mix)
     if args.format == "csv":
@@ -481,6 +555,67 @@ def _cmd_sim(args, evaluator: Evaluator) -> CommandOutput:
     return CommandOutput(text, report.as_dict())
 
 
+def _sim_board_comparison(scenario, boards: List[str], args, evaluator: Evaluator) -> CommandOutput:
+    """Run the same serving scenario on several boards and compare.
+
+    Every run shares the scenario's seed, so deterministic and Poisson
+    arrival processes offer *identical* request traces to each board — the
+    comparison isolates the platform.
+    """
+
+    from .sim import simulate
+
+    rows: List[Dict[str, object]] = []
+    reports: List[Dict[str, object]] = []
+    for name in boards:
+        report = simulate(
+            scenario.replace(board=name),
+            evaluator=evaluator,
+            mix=_parse_mix(args.mix, scenario.replace(board=name)) if args.mix else None,
+        )
+        s = report.scenario
+        lat = report.latency
+        rows.append(
+            {
+                "board": name,
+                "replicas": s["replicas"],
+                "ps_cores": s["ps_cores"],
+                "completed": report.requests["completed"],
+                "throughput_rps": round(report.throughput_rps, 4),
+                "p50_s": round(lat.percentiles[50], 6),
+                "p95_s": round(lat.percentiles[95], 6),
+                "p99_s": round(lat.percentiles[99], 6),
+                "util_ps": round(report.utilization["ps"], 3),
+                "util_pl": round(report.utilization["accelerator_mean"], 3),
+                "energy_per_req_J": (
+                    round(report.energy["energy_per_request_J"], 4)
+                    if report.energy["energy_per_request_J"] is not None
+                    else None
+                ),
+            }
+        )
+        reports.append(report.as_dict())
+    title = (
+        f"Cross-board serving: {scenario.model}-{scenario.depth} under one "
+        f"{scenario.arrival} trace (seed {scenario.seed})"
+    )
+    if args.format == "csv":
+        import csv as _csv
+        import io
+
+        buf = io.StringIO()
+        writer = _csv.writer(buf, lineterminator="\n")
+        writer.writerow(list(rows[0].keys()))
+        for row in rows:
+            writer.writerow(list(row.values()))
+        text = buf.getvalue().rstrip("\n")
+    elif args.format == "json":
+        text = json.dumps(reports, indent=2)
+    else:
+        text = format_records(rows, title=title)
+    return CommandOutput(text, reports)
+
+
 def _configure_timing(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--n-units", nargs="*", type=int, default=[1, 4, 8, 16, 32],
@@ -488,7 +623,12 @@ def _configure_timing(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument(
         "--clock-mhz", type=float, default=None,
-        help="target PL clock in MHz (default: the model's 100 MHz constraint)",
+        help="target PL clock in MHz (default: the board's PL clock)",
+    )
+    p.add_argument(
+        "--board", default=None,
+        help="registered board whose fabric scale / clock target to analyze "
+        "(default: the reference PYNQ-Z2)",
     )
 
 
@@ -497,7 +637,10 @@ def _cmd_timing(args, evaluator: Evaluator) -> CommandOutput:
     if any(n < 1 for n in args.n_units):
         raise ValueError("--n-units entries must be positive integers")
     target_hz = args.clock_mhz * 1e6 if args.clock_mhz is not None else None
-    reports = evaluator.timing_reports(args.n_units, target_hz=target_hz)
+    try:
+        reports = evaluator.timing_reports(args.n_units, target_hz=target_hz, board=args.board)
+    except KeyError as exc:
+        raise ValueError(exc.args[0] if exc.args else str(exc)) from exc
     lines = ["Timing closure (critical-path model)"]
     lines.extend(str(report) for report in reports)
     return CommandOutput("\n".join(lines), [report.as_dict() for report in reports])

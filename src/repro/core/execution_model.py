@@ -210,9 +210,12 @@ class ExecutionTimeModel:
         self.board = board
         self.n_units = n_units
         self.include_transfer = include_transfer
-        self.software_model = SoftwareCostModel(ps_config)
+        # Board-derived defaults: the PS software model runs at the board's
+        # PS clock and the AXI transfers are counted against the board's PL
+        # clock (one source of truth per clock).  Explicit configs still win.
+        self.software_model = SoftwareCostModel(ps_config or PsModelConfig.for_board(board))
         self.cycle_model = OdeBlockCycleModel(cycle_config)
-        self.transfer_model = AxiTransferModel(axi_config)
+        self.transfer_model = AxiTransferModel(axi_config or AxiTransferConfig.for_board(board))
 
     # -- per-layer costs --------------------------------------------------------------
 

@@ -23,7 +23,7 @@ from .cycles import (
     CycleModelConfig,
     OdeBlockCycleModel,
 )
-from .device import PYNQ_Z2, ZYNQ_XC7Z020, BoardSpec, FpgaDevice, ResourceVector
+from .device import PYNQ_Z2, ZYNQ_XC7Z020, BoardSpec, FpgaDevice, PowerProfile, ResourceVector
 from .geometry import (
     LAYER1,
     LAYER2_2,
@@ -52,6 +52,7 @@ from .timing import (
 __all__ = [
     "BoardSpec",
     "FpgaDevice",
+    "PowerProfile",
     "ResourceVector",
     "PYNQ_Z2",
     "ZYNQ_XC7Z020",

@@ -17,6 +17,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..platform import BoardSpec, DEFAULT_BOARD
 from .geometry import BlockGeometry
 
 __all__ = ["AxiTransferConfig", "TransferEstimate", "AxiTransferModel", "transfer_cycles_kernel"]
@@ -44,11 +45,18 @@ class AxiTransferConfig:
     #: Fixed per-transfer setup cycles (DMA descriptor setup, interrupt).
     setup_cycles: float = 0.0
 
-    #: PL clock the transfers are counted against.
-    clock_hz: float = 100e6
+    #: PL clock the transfers are counted against (default: the reference
+    #: board's — the single source of truth is ``BoardSpec.pl_clock_hz``).
+    clock_hz: float = DEFAULT_BOARD.pl_clock_hz
 
     #: Bytes per transferred word.
     bytes_per_word: int = 4
+
+    @classmethod
+    def for_board(cls, board: BoardSpec) -> "AxiTransferConfig":
+        """The paper's transfer assumption clocked at a board's PL clock."""
+
+        return cls(clock_hz=board.pl_clock_hz)
 
 
 @dataclass(frozen=True)

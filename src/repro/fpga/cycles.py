@@ -29,6 +29,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..platform import DEFAULT_BOARD
 from .geometry import BlockGeometry
 
 __all__ = [
@@ -188,7 +189,7 @@ class OdeBlockCycleModel:
         )
 
     def block_time_seconds(
-        self, geometry: BlockGeometry, n_units: int, clock_hz: float = 100e6
+        self, geometry: BlockGeometry, n_units: int, clock_hz: float = DEFAULT_BOARD.pl_clock_hz
     ) -> float:
         """Execution time of one block at a given PL clock."""
 

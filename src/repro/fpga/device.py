@@ -1,133 +1,27 @@
-"""FPGA device and board specifications.
+"""Compatibility shim: device/board specifications moved to ``repro.platform``.
 
-The paper targets the TUL PYNQ-Z2 board (Table 1): a Xilinx Zynq XC7Z020 SoC
-whose processing system (PS) has two ARM Cortex-A9 cores at 650 MHz and
-512 MB of DDR3, and whose programmable logic (PL) runs the ODEBlock circuits
-at 100 MHz.  The resource totals of the XC7Z020 fabric are needed to convert
-absolute resource counts into the utilisation percentages of Table 3.
+The seed repository kept the PYNQ-Z2 board spec here; the platform layer
+(:mod:`repro.platform`) now owns every board-parametric value plus the board
+registry.  This module re-exports the original names so existing imports
+(``from repro.fpga.device import PYNQ_Z2, BoardSpec, ...``) keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
-
-__all__ = ["ResourceVector", "FpgaDevice", "BoardSpec", "ZYNQ_XC7Z020", "PYNQ_Z2"]
-
-
-@dataclass(frozen=True)
-class ResourceVector:
-    """A bundle of FPGA resource counts (BRAM36 tiles, DSP48 slices, LUTs, FFs)."""
-
-    bram: float = 0.0
-    dsp: float = 0.0
-    lut: float = 0.0
-    ff: float = 0.0
-
-    def __add__(self, other: "ResourceVector") -> "ResourceVector":
-        return ResourceVector(
-            bram=self.bram + other.bram,
-            dsp=self.dsp + other.dsp,
-            lut=self.lut + other.lut,
-            ff=self.ff + other.ff,
-        )
-
-    def scale(self, factor: float) -> "ResourceVector":
-        return ResourceVector(
-            bram=self.bram * factor,
-            dsp=self.dsp * factor,
-            lut=self.lut * factor,
-            ff=self.ff * factor,
-        )
-
-    def utilization(self, device: "FpgaDevice") -> Dict[str, float]:
-        """Utilisation percentages against a device's totals."""
-
-        return {
-            "bram": 100.0 * self.bram / device.bram36,
-            "dsp": 100.0 * self.dsp / device.dsp,
-            "lut": 100.0 * self.lut / device.lut,
-            "ff": 100.0 * self.ff / device.ff,
-        }
-
-    def fits(self, device: "FpgaDevice") -> bool:
-        """Whether the resources fit within the device."""
-
-        return (
-            self.bram <= device.bram36
-            and self.dsp <= device.dsp
-            and self.lut <= device.lut
-            and self.ff <= device.ff
-        )
-
-    def as_dict(self) -> Dict[str, float]:
-        return {"bram": self.bram, "dsp": self.dsp, "lut": self.lut, "ff": self.ff}
-
-
-@dataclass(frozen=True)
-class FpgaDevice:
-    """Totals of the programmable-logic fabric of a device."""
-
-    name: str
-    bram36: int
-    dsp: int
-    lut: int
-    ff: int
-    bram36_bytes: int = 4096  # usable data bytes per BRAM36 tile
-
-    @property
-    def bram_bytes_total(self) -> int:
-        """Total BRAM capacity in bytes."""
-
-        return self.bram36 * self.bram36_bytes
-
-    def headroom(self, used: ResourceVector) -> ResourceVector:
-        """Remaining resources after ``used`` is placed."""
-
-        return ResourceVector(
-            bram=self.bram36 - used.bram,
-            dsp=self.dsp - used.dsp,
-            lut=self.lut - used.lut,
-            ff=self.ff - used.ff,
-        )
-
-
-@dataclass(frozen=True)
-class BoardSpec:
-    """A PS + PL SoC board (Figure 3 / Table 1 of the paper)."""
-
-    name: str
-    fpga: FpgaDevice
-    ps_clock_hz: float
-    ps_cores: int
-    dram_mb: int
-    pl_clock_hz: float
-    os_name: str = "PYNQ Linux (Ubuntu 18.04)"
-
-    @property
-    def ps_clock_mhz(self) -> float:
-        return self.ps_clock_hz / 1e6
-
-    @property
-    def pl_clock_mhz(self) -> float:
-        return self.pl_clock_hz / 1e6
-
-
-#: Xilinx Zynq XC7Z020-1CLG400C programmable logic totals.
-ZYNQ_XC7Z020 = FpgaDevice(
-    name="Zynq XC7Z020",
-    bram36=140,
-    dsp=220,
-    lut=53200,
-    ff=106400,
+from ..platform import (
+    BoardSpec,
+    FpgaDevice,
+    PowerProfile,
+    PYNQ_Z2,
+    ResourceVector,
+    ZYNQ_XC7Z020,
 )
 
-#: TUL PYNQ-Z2 board (Table 1 of the paper).
-PYNQ_Z2 = BoardSpec(
-    name="PYNQ-Z2",
-    fpga=ZYNQ_XC7Z020,
-    ps_clock_hz=650e6,
-    ps_cores=2,
-    dram_mb=512,
-    pl_clock_hz=100e6,
-)
+__all__ = [
+    "ResourceVector",
+    "FpgaDevice",
+    "PowerProfile",
+    "BoardSpec",
+    "ZYNQ_XC7Z020",
+    "PYNQ_Z2",
+]

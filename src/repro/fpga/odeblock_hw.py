@@ -23,7 +23,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..fixedpoint import FxArray, QFormat, Q20
-from .axi import AxiTransferModel, TransferEstimate
+from .axi import AxiTransferConfig, AxiTransferModel, TransferEstimate
 from .bram import BramPlan, plan_block_allocation
 from .cycles import CycleBreakdown, CycleModelConfig, OdeBlockCycleModel
 from .device import BoardSpec, PYNQ_Z2
@@ -116,9 +116,11 @@ class HardwareODEBlock:
         self.time_concat = time_concat
 
         self.cycle_model = OdeBlockCycleModel(cycle_config)
-        self.transfer_model = AxiTransferModel()
+        # Board-derived defaults (for the reference board these equal the
+        # calibrated defaults bit-for-bit).
+        self.transfer_model = AxiTransferModel(AxiTransferConfig.for_board(board))
         self.resource_estimator = ResourceEstimator(board.fpga, qformat)
-        self.timing_model = TimingModel()
+        self.timing_model = TimingModel.for_board(board)
 
         # Quantise and "store" the weights in BRAM.
         self._load_weights(weights)

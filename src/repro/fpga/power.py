@@ -4,14 +4,12 @@ The paper motivates FPGAs as "an energy-efficient solution" for edge
 machine-learning but does not report power numbers.  This module adds the
 missing energy analysis so the repository can answer the natural follow-up
 question — *does the offload also save energy, or only time?* — using
-publicly documented figures for the Zynq-7020 class of devices:
-
-* PS (dual Cortex-A9 @ 650 MHz + DDR3): ~1.3 W when busy, ~0.3 W idle
-  (typical Zynq-7000 PS figures).
-* PL static power: ~0.12 W for the -1 speed grade fabric.
-* PL dynamic power: modelled as proportional to the active resources
-  (DSP slices toggling at 100 MHz plus BRAM and distributed logic), roughly
-  1.5 mW per active DSP48 at 100 MHz plus 0.5 mW per BRAM36.
+publicly documented figures.  The wattages live in each board's
+:class:`~repro.platform.device.PowerProfile` (PS active/idle draw, PL
+static power, per-DSP/per-BRAM dynamic coefficients at the board's default
+PL clock); :class:`PowerModelConfig` defaults to the reference PYNQ-Z2's
+profile and :meth:`PowerModelConfig.for_board` rebinds any registered
+board's.
 
 These constants are deliberately conservative estimates (documented, not
 measured); the interesting outputs are the *ratios* between configurations,
@@ -21,9 +19,11 @@ paper.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional
 
+from ..platform import BoardSpec, DEFAULT_BOARD
 from .device import ResourceVector
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard (lazy import at runtime)
@@ -41,14 +41,33 @@ __all__ = [
 
 @dataclass(frozen=True)
 class PowerModelConfig:
-    """Power constants (watts) of the PS + PL system."""
+    """Power constants (watts) of the PS + PL system.
 
-    ps_active_w: float = 1.3
-    ps_idle_w: float = 0.3
-    pl_static_w: float = 0.12
-    pl_dynamic_per_dsp_w: float = 0.0015
-    pl_dynamic_per_bram_w: float = 0.0005
-    pl_dynamic_base_w: float = 0.05
+    The defaults come from the reference board's
+    :class:`~repro.platform.device.PowerProfile`; use :meth:`for_board` for
+    any other platform — board wattages live in :mod:`repro.platform`, not
+    here.
+    """
+
+    ps_active_w: float = DEFAULT_BOARD.power.ps_active_w
+    ps_idle_w: float = DEFAULT_BOARD.power.ps_idle_w
+    pl_static_w: float = DEFAULT_BOARD.power.pl_static_w
+    pl_dynamic_per_dsp_w: float = DEFAULT_BOARD.power.pl_dynamic_per_dsp_w
+    pl_dynamic_per_bram_w: float = DEFAULT_BOARD.power.pl_dynamic_per_bram_w
+    pl_dynamic_base_w: float = DEFAULT_BOARD.power.pl_dynamic_base_w
+
+    @classmethod
+    def for_board(cls, board: BoardSpec) -> "PowerModelConfig":
+        """The power constants of a board's documented profile.
+
+        Field names are shared with :class:`~repro.platform.device
+        .PowerProfile` one-for-one and must stay in sync: a coefficient
+        added to the profile needs a matching field here (the ``**asdict``
+        expansion raises a TypeError at the first evaluation otherwise,
+        so drift cannot pass silently).
+        """
+
+        return cls(**dataclasses.asdict(board.power))
 
 
 # -- array-capable kernels ---------------------------------------------------------------
@@ -119,12 +138,15 @@ class PowerModel:
         self,
         config: Optional[PowerModelConfig] = None,
         execution_model: Optional["ExecutionTimeModel"] = None,
+        board: Optional[BoardSpec] = None,
     ) -> None:
         # Imported lazily to avoid a circular import with repro.core.
         from ..core.execution_model import ExecutionTimeModel
 
-        self.config = config or PowerModelConfig()
-        self.execution_model = execution_model or ExecutionTimeModel()
+        if config is None:
+            config = PowerModelConfig.for_board(board) if board is not None else PowerModelConfig()
+        self.config = config
+        self.execution_model = execution_model or ExecutionTimeModel(board or DEFAULT_BOARD)
 
     # -- component powers ---------------------------------------------------------
 

@@ -18,6 +18,8 @@ from typing import Dict, Iterable
 
 import numpy as np
 
+from ..platform import BoardSpec, DEFAULT_BOARD
+
 __all__ = [
     "TimingModelConfig",
     "TimingReport",
@@ -40,8 +42,27 @@ class TimingModelConfig:
     #: Additional delay per adder-tree level (log2 of the unit count), ns.
     per_level_delay_ns: float = 1.2
 
-    #: Target clock period used by the paper (100 MHz -> 10 ns).
-    target_clock_hz: float = 100e6
+    #: Target clock used by the paper (default: the reference board's PL
+    #: clock — the single source of truth is ``BoardSpec.pl_clock_hz``).
+    target_clock_hz: float = DEFAULT_BOARD.pl_clock_hz
+
+    @classmethod
+    def for_board(cls, board: BoardSpec) -> "TimingModelConfig":
+        """The critical-path model re-targeted at a board.
+
+        Both delay constants scale by the board's ``fabric_delay_scale``
+        (UltraScale+ fabrics switch faster than the 7-series the constants
+        were calibrated on) and the target becomes the board's PL clock.
+        The reference board's scale is exactly 1.0, so its config equals
+        the calibrated defaults bit-for-bit.
+        """
+
+        base = cls()
+        return cls(
+            base_delay_ns=base.base_delay_ns * board.fabric_delay_scale,
+            per_level_delay_ns=base.per_level_delay_ns * board.fabric_delay_scale,
+            target_clock_hz=board.pl_clock_hz,
+        )
 
 
 # -- array-capable kernels ---------------------------------------------------------------
@@ -118,6 +139,12 @@ class TimingModel:
 
     def __init__(self, config: TimingModelConfig | None = None) -> None:
         self.config = config or TimingModelConfig()
+
+    @classmethod
+    def for_board(cls, board: BoardSpec) -> "TimingModel":
+        """A timing model with the board's fabric scale and clock target."""
+
+        return cls(TimingModelConfig.for_board(board))
 
     def critical_path_ns(self, n_units: int) -> float:
         """Critical-path delay of the conv datapath with ``n_units`` MAC units."""

@@ -1,4 +1,4 @@
-"""Software execution-time model of the PS part (ARM Cortex-A9 @ 650 MHz).
+"""Software execution-time model of the PS part (board-parametric).
 
 Table 5's "w/o PL" columns are wall-clock times of a pure software execution
 on the PYNQ-Z2's Cortex-A9.  This module models that software cost as
@@ -19,6 +19,12 @@ The constants were fitted to the four published ResNet-N totals
 against the per-layer "Target w/o PL" columns of Table 5; the model
 reproduces all of them within a few percent (see
 ``tests/hwsw/test_ps_model.py``).
+
+The clock comes from the board (:meth:`PsModelConfig.for_board`): the cycle
+counts are treated as board-independent work, executed at the board's PS
+clock, and the fixed per-image overhead scales inversely with that clock
+(it is CPU work too).  Per-ISA IPC differences (Cortex-A53 vs the A9 the
+constants were fitted on) are deliberately not modelled — see ROADMAP.md.
 """
 
 from __future__ import annotations
@@ -26,7 +32,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-__all__ = ["PsModelConfig", "SoftwareCostModel", "work_time_kernel"]
+from ..platform import BoardSpec, DEFAULT_BOARD
+
+__all__ = ["PsModelConfig", "SoftwareCostModel", "work_time_kernel", "work_cycles_kernel"]
+
+
+def work_cycles_kernel(macs, elements, passes, cycles_per_mac, cycles_per_element):
+    """Array-capable kernel: PS cycles of convolution + element-wise work.
+
+    The clock-independent half of :func:`work_time_kernel`; the batch engine
+    evaluates it once per layer and divides by a per-scenario clock column.
+    """
+
+    return macs * cycles_per_mac + elements * passes * cycles_per_element
 
 
 def work_time_kernel(macs, elements, passes, cycles_per_mac, cycles_per_element, clock_hz):
@@ -36,7 +54,7 @@ def work_time_kernel(macs, elements, passes, cycles_per_mac, cycles_per_element,
     engine (:mod:`repro.api.batch`); inputs may be scalars or NumPy arrays.
     """
 
-    cycles = macs * cycles_per_mac + elements * passes * cycles_per_element
+    cycles = work_cycles_kernel(macs, elements, passes, cycles_per_mac, cycles_per_element)
     return cycles / clock_hz
 
 
@@ -44,8 +62,8 @@ def work_time_kernel(macs, elements, passes, cycles_per_mac, cycles_per_element,
 class PsModelConfig:
     """Calibration constants of the PS software-execution model."""
 
-    #: PS clock frequency in Hz (PYNQ-Z2: 650 MHz Cortex-A9).
-    clock_hz: float = 650e6
+    #: PS clock frequency in Hz (default: the reference board's 650 MHz A9).
+    clock_hz: float = DEFAULT_BOARD.ps_clock_hz
 
     #: CPU cycles per convolution multiply-accumulate.
     cycles_per_mac: float = 7.6
@@ -57,12 +75,38 @@ class PsModelConfig:
     #: Fixed per-image overhead (framework bookkeeping, pooling, softmax), s.
     per_image_overhead_s: float = 0.028
 
+    @classmethod
+    def for_board(cls, board: BoardSpec) -> "PsModelConfig":
+        """Calibration constants re-clocked for a board.
+
+        The cycle costs are kept (board-independent work); the clock becomes
+        the board's PS clock, and the fixed overhead — CPU work too — scales
+        by the reference-to-board clock ratio.  For the reference board the
+        ratio is exactly 1.0, so the result equals the fitted defaults
+        bit-for-bit.
+        """
+
+        base = cls()
+        scale = DEFAULT_BOARD.ps_clock_hz / board.ps_clock_hz
+        return cls(
+            clock_hz=board.ps_clock_hz,
+            per_image_overhead_s=base.per_image_overhead_s * scale,
+        )
+
 
 class SoftwareCostModel:
     """Estimate software execution time of convolutional work on the PS part."""
 
     def __init__(self, config: PsModelConfig | None = None) -> None:
         self.config = config or PsModelConfig()
+
+    def work_cycles(self, macs: float, elements: float = 0.0, passes: float = 0.0) -> float:
+        """Clock-independent PS cycles of ``macs`` MACs plus element passes."""
+
+        cfg = self.config
+        return float(
+            work_cycles_kernel(macs, elements, passes, cfg.cycles_per_mac, cfg.cycles_per_element)
+        )
 
     def work_time(self, macs: float, elements: float = 0.0, passes: float = 0.0) -> float:
         """Seconds to execute ``macs`` MACs plus ``passes`` passes over ``elements``."""

@@ -1,0 +1,47 @@
+"""The platform layer: board-parametric device models and the board registry.
+
+Everything board-specific lives here — fabric totals, PS/PL clocks, core
+counts, DRAM sizes, power profiles and the registry that names them:
+
+>>> from repro.platform import get_board, list_boards
+>>> list_boards()
+('PYNQ-Z2', 'Zybo-Z7-20', 'Ultra96-V2', 'ZCU104')
+>>> get_board("ZCU104").fpga.dsp
+1728
+
+Model layers derive their defaults from :data:`DEFAULT_BOARD` (the paper's
+PYNQ-Z2) and accept any :class:`BoardSpec` — registered boards become sweep
+axes via ``Scenario(board=...)`` / ``scenario_grid(boards=...)``.
+"""
+
+from .device import BoardSpec, FpgaDevice, PowerProfile, ResourceVector
+from .registry import BOARDS, get_board, list_boards, register_board
+from .catalog import (
+    DEFAULT_BOARD,
+    PYNQ_Z2,
+    ULTRA96_V2,
+    ZCU104,
+    ZYBO_Z7_20,
+    ZYNQ_XC7Z020,
+    ZYNQ_ZU3EG,
+    ZYNQ_ZU7EV,
+)
+
+__all__ = [
+    "BoardSpec",
+    "FpgaDevice",
+    "PowerProfile",
+    "ResourceVector",
+    "BOARDS",
+    "get_board",
+    "list_boards",
+    "register_board",
+    "DEFAULT_BOARD",
+    "PYNQ_Z2",
+    "ZYBO_Z7_20",
+    "ULTRA96_V2",
+    "ZCU104",
+    "ZYNQ_XC7Z020",
+    "ZYNQ_ZU3EG",
+    "ZYNQ_ZU7EV",
+]

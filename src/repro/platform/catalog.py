@@ -1,0 +1,158 @@
+"""The seeded board catalog: four real PS + PL SoC boards.
+
+:data:`PYNQ_Z2` is the paper's platform (Table 1) and the reference every
+calibrated constant was fitted on; every default in the model layers derives
+from it, so the seed goldens stay byte-identical.  The other three are real
+boards of the same prediction-serving class, specified from their public
+datasheets:
+
+==============  ==============  =============  ========  =======  =========
+board           SoC             PS             DRAM      PL clk   fabric
+==============  ==============  =============  ========  =======  =========
+PYNQ-Z2         Zynq XC7Z020    2x A9 650MHz   512 MB    100 MHz  7-series
+Zybo-Z7-20      Zynq XC7Z020    2x A9 667MHz   1024 MB   100 MHz  7-series
+Ultra96-V2      Zynq US+ ZU3EG  4x A53 1.5GHz  2048 MB   150 MHz  UltraScale+
+ZCU104          Zynq US+ ZU7EV  4x A53 1.2GHz  2048 MB   200 MHz  UltraScale+
+==============  ==============  =============  ========  =======  =========
+
+Fabric totals (BRAM36/DSP48/LUT/FF) are the vendors' published device
+resources.  Power profiles are documented-class estimates in the same spirit
+as the seed's Zynq-7000 figures (see :class:`~repro.platform.device
+.PowerProfile`); the UltraScale+ fabric delay scale reflects its faster
+switching (the timing constants were calibrated on 7-series).  What the
+platform layer deliberately does *not* model is recorded in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+from .device import BoardSpec, FpgaDevice, PowerProfile
+from .registry import register_board
+
+__all__ = [
+    "ZYNQ_XC7Z020",
+    "ZYNQ_ZU3EG",
+    "ZYNQ_ZU7EV",
+    "PYNQ_Z2",
+    "ZYBO_Z7_20",
+    "ULTRA96_V2",
+    "ZCU104",
+    "DEFAULT_BOARD",
+]
+
+
+#: Xilinx Zynq XC7Z020-1CLG400C programmable logic totals.
+ZYNQ_XC7Z020 = FpgaDevice(
+    name="Zynq XC7Z020",
+    bram36=140,
+    dsp=220,
+    lut=53200,
+    ff=106400,
+)
+
+#: Xilinx Zynq UltraScale+ ZU3EG programmable logic totals.
+ZYNQ_ZU3EG = FpgaDevice(
+    name="Zynq UltraScale+ ZU3EG",
+    bram36=216,
+    dsp=360,
+    lut=70560,
+    ff=141120,
+)
+
+#: Xilinx Zynq UltraScale+ ZU7EV programmable logic totals (URAM not modelled).
+ZYNQ_ZU7EV = FpgaDevice(
+    name="Zynq UltraScale+ ZU7EV",
+    bram36=312,
+    dsp=1728,
+    lut=230400,
+    ff=460800,
+)
+
+
+#: TUL PYNQ-Z2 board (Table 1 of the paper) — the calibration reference.
+PYNQ_Z2 = register_board(
+    BoardSpec(
+        name="PYNQ-Z2",
+        fpga=ZYNQ_XC7Z020,
+        ps_clock_hz=650e6,
+        ps_cores=2,
+        dram_mb=512,
+        pl_clock_hz=100e6,
+        fabric_delay_scale=1.0,
+        power=PowerProfile(
+            ps_active_w=1.3,
+            ps_idle_w=0.3,
+            pl_static_w=0.12,
+            pl_dynamic_per_dsp_w=0.0015,
+            pl_dynamic_per_bram_w=0.0005,
+            pl_dynamic_base_w=0.05,
+        ),
+    )
+)
+
+#: Digilent Zybo Z7-20 — same XC7Z020 fabric, faster PS bin, twice the DRAM.
+ZYBO_Z7_20 = register_board(
+    BoardSpec(
+        name="Zybo-Z7-20",
+        fpga=ZYNQ_XC7Z020,
+        ps_clock_hz=667e6,
+        ps_cores=2,
+        dram_mb=1024,
+        pl_clock_hz=100e6,
+        os_name="Petalinux 2020.1",
+        fabric_delay_scale=1.0,
+        power=PowerProfile(
+            ps_active_w=1.35,
+            ps_idle_w=0.3,
+            pl_static_w=0.12,
+            pl_dynamic_per_dsp_w=0.0015,
+            pl_dynamic_per_bram_w=0.0005,
+            pl_dynamic_base_w=0.05,
+        ),
+    )
+)
+
+#: Avnet Ultra96-V2 — Zynq UltraScale+ ZU3EG, quad Cortex-A53 @ 1.5 GHz.
+ULTRA96_V2 = register_board(
+    BoardSpec(
+        name="Ultra96-V2",
+        fpga=ZYNQ_ZU3EG,
+        ps_clock_hz=1.5e9,
+        ps_cores=4,
+        dram_mb=2048,
+        pl_clock_hz=150e6,
+        fabric_delay_scale=0.6,
+        power=PowerProfile(
+            ps_active_w=2.2,
+            ps_idle_w=0.55,
+            pl_static_w=0.25,
+            pl_dynamic_per_dsp_w=0.0012,
+            pl_dynamic_per_bram_w=0.0004,
+            pl_dynamic_base_w=0.08,
+        ),
+    )
+)
+
+#: Xilinx ZCU104 evaluation kit — Zynq UltraScale+ ZU7EV, quad A53 @ 1.2 GHz.
+ZCU104 = register_board(
+    BoardSpec(
+        name="ZCU104",
+        fpga=ZYNQ_ZU7EV,
+        ps_clock_hz=1.2e9,
+        ps_cores=4,
+        dram_mb=2048,
+        pl_clock_hz=200e6,
+        os_name="Petalinux 2020.1",
+        fabric_delay_scale=0.5,
+        power=PowerProfile(
+            ps_active_w=2.6,
+            ps_idle_w=0.6,
+            pl_static_w=0.4,
+            pl_dynamic_per_dsp_w=0.0012,
+            pl_dynamic_per_bram_w=0.0004,
+            pl_dynamic_base_w=0.12,
+        ),
+    )
+)
+
+#: The board every board-derived default constant comes from.
+DEFAULT_BOARD = PYNQ_Z2

@@ -24,7 +24,13 @@ import numpy as np
 from ..fpga.device import ResourceVector
 from ..fpga.power import PowerModelConfig, pl_power_kernel
 
-__all__ = ["LatencyStats", "SimReport", "latency_stats", "energy_summary"]
+__all__ = [
+    "LatencyStats",
+    "SimReport",
+    "latency_stats",
+    "energy_summary",
+    "windowed_mean",
+]
 
 #: Percentiles reported for every latency distribution.
 PERCENTILES: Tuple[int, ...] = (50, 90, 95, 99)
@@ -50,6 +56,20 @@ class LatencyStats:
         for q, value in self.percentiles.items():
             out[f"p{q}_s"] = value
         return out
+
+
+def windowed_mean(integral_end: float, integral_start: float, window_s: float) -> float:
+    """Time-weighted mean level over a measurement window.
+
+    The warm-up trimming primitive: monitors accumulate occupancy integrals
+    from t = 0, so the mean over ``[warmup_s, horizon]`` is the difference
+    of the final integral and the probe's reading at ``warmup_s``, over the
+    window span.  An empty window yields 0 (nothing was measured).
+    """
+
+    if window_s <= 0:
+        return 0.0
+    return (integral_end - integral_start) / window_s
 
 
 def latency_stats(samples: Sequence[float], qs: Sequence[int] = PERCENTILES) -> LatencyStats:

@@ -64,6 +64,16 @@ class LevelMonitor:
         self._since = end
         return self.integral
 
+    def reading(self) -> float:
+        """The integral up to *now*, without closing it (no mutation).
+
+        Lets a probe process snapshot the monitor mid-run — the warm-up
+        trimming of :mod:`repro.sim.metrics` reads every monitor at
+        ``warmup_s`` and differences against the final integral.
+        """
+
+        return self.integral + self._level * (self.sim.now - self._since)
+
     def mean(self, horizon: float) -> float:
         return self.integral / horizon if horizon > 0 else 0.0
 

@@ -31,8 +31,9 @@ import numpy as np
 from ..api.evaluator import Evaluator
 from ..api.scenario import Scenario
 from ..fpga.device import ResourceVector
+from ..fpga.power import PowerModelConfig
 from .engine import Simulator
-from .metrics import SimReport, energy_summary, latency_stats
+from .metrics import SimReport, energy_summary, latency_stats, windowed_mean
 from .policies import Dispatcher, make_policy, max_replicas
 from .resources import Accelerator, AxiBus, Resource
 from .scenario import SimScenario
@@ -112,11 +113,16 @@ def simulate(
     ev = evaluator if evaluator is not None else Evaluator()
 
     # -- replica sizing and per-replica footprint (energy model) ----------------------
+    # Both budgets are per-board: auto-sized replicas pack the board's
+    # fabric, and ``ps_cores=0`` resolves to the board's core count, so the
+    # same SimScenario compares boards under identical traffic.
     design = sim_scenario.design_point
+    board = sim_scenario.board_spec
     decision = ev.offload_decision(design)
     n_replicas = sim_scenario.replicas
     if n_replicas == 0:
         n_replicas = max_replicas(design, evaluator=ev)
+    ps_cores = sim_scenario.ps_cores or board.ps_cores
     replica_resources: ResourceVector = (
         decision.resources if decision.targets else ResourceVector()
     )
@@ -152,12 +158,34 @@ def simulate(
 
     # -- system -----------------------------------------------------------------------
     sim = Simulator()
-    ps = Resource(sim, capacity=sim_scenario.ps_cores, name="ps")
+    ps = Resource(sim, capacity=ps_cores, name="ps")
     bus = AxiBus(sim, channels=sim_scenario.dma_channels)
     accelerators = [Accelerator(sim, i, replica_resources) for i in range(n_replicas)]
     dispatcher = Dispatcher(
         sim, bus, accelerators, make_policy(sim_scenario.policy, sim_scenario.batch_size)
     )
+
+    # Warm-up trimming: a probe snapshots every occupancy integral at
+    # ``warmup_s`` so the reported metrics cover [warmup_s, horizon] only.
+    # Only spawned when asked — the probe's timeout would otherwise pin the
+    # horizon to at least warmup_s.
+    warmup = sim_scenario.warmup_s
+    marks: Dict[str, float] = {}
+
+    def _warmup_probe() -> Generator:
+        yield sim.timeout(warmup)
+        marks["ps"] = ps.busy.reading()
+        marks["bus"] = bus.busy.reading()
+        marks["queue"] = dispatcher.pending.reading()
+        for acc in accelerators:
+            marks[acc.name] = acc.busy.reading()
+        # Peak/batch statistics restart at the window too: the transient the
+        # user asked to trim must not leak into any 'queue' metric.
+        dispatcher.pending.peak = dispatcher.pending.level
+        marks["batches"] = len(dispatcher.batch_sizes)
+
+    if warmup > 0.0:
+        sim.process(_warmup_probe())
 
     completed: List[Request] = []
     requests = [
@@ -174,54 +202,77 @@ def simulate(
 
     # -- summary ----------------------------------------------------------------------
     horizon = sim.now
+    if warmup > 0.0:
+        # The probe's timeout keeps the simulator alive until ``warmup_s``;
+        # if every request finished earlier, that idle tail is measurement
+        # artefact, not serving activity — clamp the horizon to the last
+        # real event so a too-long warm-up reads as an empty window over
+        # the true run, not as a 0-throughput run of length warmup_s.
+        last_arrival = float(arrivals[-1]) if len(arrivals) else 0.0
+        last_completion = max((r.completed for r in completed), default=0.0)
+        horizon = min(horizon, max(last_arrival, last_completion))
     ps_busy = ps.busy.finalize(horizon)
-    dispatcher.pending.finalize(horizon)
-    bus.busy.finalize(horizon)
+    pending_integral = dispatcher.pending.finalize(horizon)
+    bus_busy = bus.busy.finalize(horizon)
     for acc in accelerators:
         acc.busy.finalize(horizon)
-    latencies = [r.latency for r in completed]
-    waits = [r.total_wait for r in completed]
+    # The measurement window: [warmup, horizon].  With warmup == 0 the marks
+    # default to 0 and every expression below reduces to the whole-run value.
+    window_start = min(warmup, horizon)
+    window = horizon - window_start
+    measured = [r for r in completed if r.arrival >= window_start]
+    latencies = [r.latency for r in measured]
+    waits = [r.total_wait for r in measured]
     batch_sizes: Dict[str, float] = {}
-    if dispatcher.batch_sizes:
-        sizes = np.asarray(dispatcher.batch_sizes, dtype=np.float64)
+    measured_batches = dispatcher.batch_sizes[int(marks.get("batches", 0)) :]
+    if measured_batches:
+        sizes = np.asarray(measured_batches, dtype=np.float64)
         batch_sizes = {
             "count": float(sizes.size),
             "mean": float(sizes.mean()),
             "max": float(sizes.max()),
         }
 
-    # The report carries the *resolved* replica count (``replicas=0`` asked
-    # for auto-sizing; readers want the number that actually ran).
+    # The report carries the *resolved* replica/core counts (0 asked for
+    # board-budget auto-sizing; readers want the numbers that actually ran).
     scenario_dict = sim_scenario.as_dict()
     scenario_dict["replicas"] = n_replicas
+    scenario_dict["ps_cores"] = ps_cores
 
+    acc_util = [
+        windowed_mean(acc.busy.integral, marks.get(acc.name, 0.0), window)
+        for acc in accelerators
+    ]
     return SimReport(
         scenario=scenario_dict,
-        requests={"offered": len(requests), "completed": len(completed)},
+        requests={
+            "offered": len(requests),
+            "completed": len(completed),
+            "measured": len(measured),
+        },
         horizon_s=horizon,
-        throughput_rps=len(completed) / horizon if horizon > 0 else 0.0,
+        throughput_rps=len(measured) / window if window > 0 else 0.0,
         service_s=plans[design].total_seconds,
         latency=latency_stats(latencies),
         wait=latency_stats(waits),
         utilization={
-            "ps": ps.utilization(horizon),
-            "axi": bus.utilization(horizon),
-            "accelerators": [acc.utilization(horizon) for acc in accelerators],
-            "accelerator_mean": (
-                sum(acc.utilization(horizon) for acc in accelerators) / n_replicas
-            ),
+            "ps": windowed_mean(ps_busy, marks.get("ps", 0.0), window) / ps.capacity,
+            "axi": windowed_mean(bus_busy, marks.get("bus", 0.0), window) / bus.capacity,
+            "accelerators": acc_util,
+            "accelerator_mean": sum(acc_util) / n_replicas,
         },
         queue={
-            "mean_depth": dispatcher.pending.mean(horizon),
+            "mean_depth": windowed_mean(pending_integral, marks.get("queue", 0.0), window),
             "peak_depth": float(dispatcher.pending.peak),
         },
         energy=energy_summary(
-            horizon_s=horizon,
-            ps_busy_core_seconds=ps_busy,
-            ps_cores=sim_scenario.ps_cores,
+            horizon_s=window,
+            ps_busy_core_seconds=ps_busy - marks.get("ps", 0.0),
+            ps_cores=ps_cores,
             replica_resources=replica_resources,
             n_replicas=n_replicas,
-            completed=len(completed),
+            completed=len(measured),
+            config=PowerModelConfig.for_board(board),
         ),
         bus=bus.as_dict(),
         events_processed=sim.events_processed,

@@ -8,6 +8,8 @@ contract) with the traffic and system knobs of a multi-request run:
   stop conditions (``n_requests``, ``duration_s``),
 * the serving system (``replicas``, ``policy``, ``batch_size``,
   ``ps_cores``, ``dma_channels``),
+* the measurement (``warmup_s`` trims the transient start-up from the
+  reported metrics),
 * the ``seed`` making stochastic runs reproducible.
 
 Being a Scenario subclass, it flows through the existing machinery: the
@@ -57,10 +59,15 @@ class SimScenario(Scenario):
     batch_size: int = 4
     #: PRNG seed for Poisson arrivals and mix sampling.
     seed: int = 0
-    #: PS cores available to software phases (PYNQ-Z2 has two A9 cores).
+    #: PS cores available to software phases; 0 uses the board's core count.
     ps_cores: int = 1
     #: Concurrent DMA bursts the AXI interconnect sustains.
     dma_channels: int = 1
+    #: Measurement warm-up: requests arriving before this simulated time are
+    #: dropped from latency percentiles, and utilisation / queue / energy
+    #: metrics are computed over ``[warmup_s, horizon]`` only (transient
+    #: start-up behaviour trimmed).  0 measures the whole run.
+    warmup_s: float = 0.0
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -90,10 +97,12 @@ class SimScenario(Scenario):
             raise ValueError(f"unknown policy '{self.policy}'; expected one of {POLICY_NAMES}")
         if self.batch_size < 1:
             raise ValueError("batch_size must be a positive integer")
-        if self.ps_cores < 1:
-            raise ValueError("ps_cores must be a positive integer")
+        if not isinstance(self.ps_cores, int) or self.ps_cores < 0:
+            raise ValueError("ps_cores must be a non-negative integer (0 = the board's cores)")
         if self.dma_channels < 1:
             raise ValueError("dma_channels must be a positive integer")
+        if self.warmup_s < 0:
+            raise ValueError("warmup_s must be non-negative")
 
     # -- views -------------------------------------------------------------------------
 
@@ -120,6 +129,7 @@ class SimScenario(Scenario):
                 "seed": self.seed,
                 "ps_cores": self.ps_cores,
                 "dma_channels": self.dma_channels,
+                "warmup_s": self.warmup_s,
             }
         )
         return out

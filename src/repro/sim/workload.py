@@ -141,7 +141,13 @@ def build_service_plan(
 
     ev = evaluator if evaluator is not None else Evaluator()
     report = ev.execution_report(scenario)
-    transfers = transfer_model or AxiTransferModel()
+    if transfer_model is None:
+        # The board's PL clock prices the DMA bursts (one source of truth
+        # with the analytic models — see AxiTransferConfig.for_board).
+        from ..fpga.axi import AxiTransferConfig
+
+        transfer_model = AxiTransferModel(AxiTransferConfig.for_board(scenario.board_spec))
+    transfers = transfer_model
 
     segments: List[Union[PsSegment, PlExecution]] = []
     for entry in report.layers:

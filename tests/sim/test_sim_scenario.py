@@ -30,8 +30,9 @@ class TestValidation:
             (dict(replicas=-1), "replicas"),
             (dict(policy="lifo"), "unknown policy"),
             (dict(batch_size=0), "batch_size"),
-            (dict(ps_cores=0), "ps_cores"),
+            (dict(ps_cores=-1), "ps_cores"),
             (dict(dma_channels=0), "dma_channels"),
+            (dict(warmup_s=-0.5), "warmup_s"),
         ],
     )
     def test_bad_knobs_rejected(self, kwargs, match):

@@ -249,3 +249,83 @@ class TestSweepCommand:
         first = run_cli(capsys, *argv)
         assert len(list(cache_dir.glob("*/*.json"))) == 2
         assert run_cli(capsys, *argv) == first
+
+
+class TestBoardsCommand:
+    def test_lists_every_registered_board(self, capsys):
+        from repro.platform import list_boards
+
+        out = run_cli(capsys, "boards")
+        assert "Registered boards" in out
+        for name in list_boards():
+            assert name in out
+
+    def test_json_records_carry_the_device_vector(self, capsys):
+        out = run_cli(capsys, "boards", "--json")
+        records = json.loads(out)
+        by_name = {r["board"]: r for r in records}
+        assert by_name["ZCU104"]["dsp"] == 1728
+        assert by_name["PYNQ-Z2"]["bram36"] == 140
+        for record in records:
+            for key in ("fpga", "bram36", "dsp", "lut", "ff", "pl_mhz", "ps_active_w"):
+                assert key in record
+
+
+class TestBoardAxis:
+    def test_sweep_boards_batch_matches_loop_bit_for_bit(self, capsys):
+        argv = ["sweep", "--models", "rODENet-3", "--depths", "20", "56",
+                "--n-units", "8", "16", "--boards", "PYNQ-Z2,Zybo-Z7-20,Ultra96-V2",
+                "--format", "csv"]
+        batch = run_cli(capsys, *argv, "--engine", "batch")
+        loop = run_cli(capsys, *argv, "--engine", "loop")
+        assert batch == loop
+        rows = batch.splitlines()
+        assert len(rows) == 1 + 2 * 2 * 3  # header + models x units x boards
+        assert sum("Ultra96-V2" in row for row in rows) == 4
+
+    def test_sweep_boards_space_separated_too(self, capsys):
+        out = run_cli(capsys, "sweep", "--models", "ResNet", "--depths", "20",
+                      "--boards", "PYNQ-Z2", "ZCU104", "--format", "csv")
+        assert "ZCU104" in out and "PYNQ-Z2" in out
+
+    def test_unknown_board_is_a_clean_error_listing_the_registry(self, capsys):
+        assert main(["sweep", "--models", "ResNet", "--depths", "20",
+                     "--boards", "DE10-Nano"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown board 'DE10-Nano'" in err and "PYNQ-Z2" in err
+
+    def test_eval_board_knob(self, capsys):
+        out = run_cli(capsys, "eval", "rODENet-3", "--board", "ZCU104", "--json")
+        data = json.loads(out)
+        assert data["scenario"]["board"] == "ZCU104"
+        assert data["scenario"]["pl_clock_hz"] == 200e6
+
+    def test_timing_board_knob(self, capsys):
+        pynq = run_cli(capsys, "timing", "--n-units", "32")
+        zcu = run_cli(capsys, "timing", "--n-units", "32", "--board", "ZCU104")
+        assert "FAILED" in pynq  # conv_x32 misses 100 MHz on the 7-series
+        assert "200.0 MHz" in zcu
+
+
+class TestSimBoardComparison:
+    def test_two_boards_share_one_trace(self, capsys):
+        out = run_cli(capsys, "sim", "rODENet-1", "--depth", "20", "--rate", "3",
+                      "--requests", "20", "--replicas", "auto", "--ps-cores", "auto",
+                      "--board", "PYNQ-Z2,ZCU104")
+        assert "Cross-board serving" in out
+        assert "PYNQ-Z2" in out and "ZCU104" in out
+
+    def test_comparison_json_is_one_report_per_board(self, capsys):
+        out = run_cli(capsys, "sim", "rODENet-1", "--depth", "20", "--rate", "3",
+                      "--requests", "15", "--board", "PYNQ-Z2,Ultra96-V2", "--json")
+        reports = json.loads(out)
+        assert [r["scenario"]["board"] for r in reports] == ["PYNQ-Z2", "Ultra96-V2"]
+        offered = {r["requests"]["offered"] for r in reports}
+        assert offered == {15}  # identical trace across boards
+
+    def test_warmup_flag_trims_measurement(self, capsys):
+        out = run_cli(capsys, "sim", "rODENet-1", "--depth", "20", "--rate", "4",
+                      "--requests", "30", "--warmup", "2.0", "--json")
+        report = json.loads(out)
+        assert report["scenario"]["warmup_s"] == 2.0
+        assert report["requests"]["measured"] < report["requests"]["offered"]
