@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Benchmark: the fault-injection axis of the serving simulator.
+
+The ``repro.faults`` subsystem threads fault hooks through the dispatcher,
+the bus and the runner.  This benchmark measures what that costs and what
+it buys:
+
+1. **inert-path identity** — a zero-fault run under the fault plumbing must
+   be bit-identical to the nominal path (checked before any timing is
+   trusted), and the wall-clock overhead of the inert hooks must stay
+   below a few percent (asserted in full mode);
+2. **FMEA throughput** — fault scenarios per second over the default fault
+   domain (each FMEA row is ``n_samples`` full simulations);
+3. **the resilience knee** — expected SLO damage of a replica death must
+   fall monotonically as replicas are added (the headline FMEA claim).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fault_sweep.py            # full
+    PYTHONPATH=src python benchmarks/bench_fault_sweep.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.api import Evaluator
+from repro.faults import ReplicaDeath, default_fault_domain, run_fmea
+from repro.sim import SimScenario, simulate
+
+
+#: SLO for the knee study: tight enough that the PS software fallback misses
+#: it (~1.4x the no-load PL service time), so a replica death shows up even
+#: at quick-mode request counts.
+KNEE_SLO_S = 0.40
+
+
+def scenario(n_requests: int, replicas: int = 2, slo_s: float | None = None) -> SimScenario:
+    return SimScenario(
+        model="rODENet-3", depth=20, arrival="poisson", arrival_rate_hz=3.0,
+        n_requests=n_requests, replicas=replicas, ps_cores=2, seed=0, slo_s=slo_s,
+    )
+
+
+def bench(quick: bool, repeats: int, max_overhead: float | None) -> int:
+    ev = Evaluator()
+    n_requests = 12 if quick else 40
+    n_samples = 1 if quick else 3
+    base = scenario(n_requests)
+
+    # 1. Inert-path identity: the acceptance bar for every fault hook.
+    nominal = simulate(base, evaluator=ev)
+    armed = simulate(base, evaluator=ev, faults=[])
+    identical = armed.as_dict() == nominal.as_dict()
+    print(f"\nzero-fault run bit-identical to nominal: {identical}")
+    if not identical:
+        print("FAIL: inert fault plumbing changed the nominal run", file=sys.stderr)
+        return 1
+
+    nominal_best = armed_best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        simulate(base, evaluator=ev)
+        nominal_best = min(nominal_best, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        simulate(base, evaluator=ev, faults=[])
+        armed_best = min(armed_best, time.perf_counter() - t0)
+    overhead = armed_best / nominal_best
+    print(f"nominal path            : {nominal_best * 1e3:8.3f} ms/run")
+    print(f"inert fault path        : {armed_best * 1e3:8.3f} ms/run  ({overhead:5.3f}x)")
+
+    # 2. FMEA throughput over the whole default domain.
+    domain = default_fault_domain()
+    t0 = time.perf_counter()
+    study = run_fmea(base, domain, evaluator=ev, n_samples=n_samples)
+    elapsed = time.perf_counter() - t0
+    runs = 1 + n_samples * len(domain)  # nominal + every fault scenario
+    print(
+        f"FMEA (default domain)   : {elapsed:8.4f} s for {runs} simulations "
+        f"({runs / elapsed:6.1f} scenarios/s)"
+    )
+    for row in study.rows:
+        print(
+            f"  {row['mode']:<16}: E[violation] {row['expected_slo_violation']:.6f}, "
+            f"d_p95 {row['d_p95_ms']:+8.3f} ms, d_energy {row['d_energy_J']:+8.4f} J"
+        )
+
+    # 3. The resilience knee: replica death hurts less with more replicas.
+    knee = []
+    for replicas in (1, 2) if quick else (1, 2, 3):
+        s = run_fmea(
+            scenario(n_requests, replicas=replicas, slo_s=KNEE_SLO_S),
+            [ReplicaDeath(rate_per_hour=60.0)],
+            evaluator=ev, n_samples=n_samples,
+        )
+        knee.append((replicas, s.rows[0]["expected_slo_violation"]))
+    print("replica-death knee      : " + ", ".join(
+        f"{r} replica(s) -> {v:.6f}" for r, v in knee
+    ))
+    monotone = all(a[1] >= b[1] for a, b in zip(knee, knee[1:])) and knee[0][1] > knee[1][1]
+    print(f"expected SLO damage falls with replicas: {monotone}")
+
+    if not monotone:
+        print("FAIL: replica-death damage is not monotone in replicas", file=sys.stderr)
+        return 1
+    if max_overhead is not None and overhead > max_overhead:
+        print(
+            f"FAIL: inert fault-path overhead {overhead:.3f}x above the "
+            f"allowed {max_overhead:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scenario, single repeat, no overhead assertion (CI smoke)",
+    )
+    parser.add_argument("--repeats", type=int, default=5, help="timing repeats (best-of)")
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=1.10,
+        help="allowed inert-fault-path slowdown vs nominal (default: 1.10x)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        return bench(quick=True, repeats=1, max_overhead=None)
+    return bench(quick=False, repeats=args.repeats, max_overhead=args.max_overhead)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,15 +62,21 @@ from .scenario import (
 )
 from .sweep import SweepError, results_to_csv, results_to_json, results_to_records, sweep
 
-# The system simulator lives in repro.sim but is part of the public API
-# surface.  This import must stay below the submodule imports above:
-# repro.sim pulls Scenario/Evaluator from this package's submodules.
+# The system simulator and the fault-injection workbench live in repro.sim /
+# repro.faults but are part of the public API surface.  These imports must
+# stay below the submodule imports above: both packages pull
+# Scenario/Evaluator from this package's submodules.
 from ..sim import SimReport, SimScenario, simulate
+from ..faults import FmeaStudy, default_fault_domain, make_fault_mode, run_fmea
 
 __all__ = [
     "SimScenario",
     "simulate",
     "SimReport",
+    "FmeaStudy",
+    "run_fmea",
+    "default_fault_domain",
+    "make_fault_mode",
     "Scenario",
     "scenario_grid",
     "fraction_bits_for",

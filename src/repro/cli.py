@@ -477,6 +477,32 @@ def _configure_sim(p: argparse.ArgumentParser) -> None:
         "--mix", nargs="*", default=None, metavar="MODEL:DEPTH[:WEIGHT]",
         help="weighted per-request architecture mix sharing the same PL hardware",
     )
+    p.add_argument(
+        "--slo-ms", type=float, default=None,
+        help="per-request latency SLO [ms]; the report gains an SLO-violation "
+        "summary (late or corrupted completions count)",
+    )
+    p.add_argument(
+        "--faults", nargs="*", default=None, metavar="KIND[:RATE[:PARAM]]",
+        help="run an FMEA over these fault modes (bare --faults uses the whole "
+        "default domain; see the 'faults' subcommand for the registry)",
+    )
+    p.add_argument(
+        "--fault-samples", type=int, default=3,
+        help="sampled injection times per fault mode (--faults)",
+    )
+    p.add_argument(
+        "--fault-sampling", choices=("even", "quadrature"), default="even",
+        help="injection-time sampling rule (--faults)",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="fault RNG seed (bit-flip positions), independent of --seed",
+    )
+    p.add_argument(
+        "--fault-duration", type=float, default=None,
+        help="seconds until each injected fault self-clears (default: permanent)",
+    )
     p.add_argument("--format", choices=("table", "json", "csv"), default="table")
 
 
@@ -541,10 +567,15 @@ def _cmd_sim(args, evaluator: Evaluator) -> CommandOutput:
         ps_cores=ps_cores,
         dma_channels=args.dma_channels,
         warmup_s=args.warmup,
+        slo_s=args.slo_ms / 1000.0 if args.slo_ms is not None else None,
     )
     if len(boards) > 1:
+        if args.faults is not None:
+            raise ValueError("--faults runs one board at a time; pass a single --board")
         return _sim_board_comparison(scenario, boards, args, evaluator)
     mix = _parse_mix(args.mix, scenario) if args.mix else None
+    if args.faults is not None:
+        return _sim_fmea(scenario, args, evaluator, mix)
     report = simulate(scenario, evaluator=evaluator, mix=mix)
     if args.format == "csv":
         text = report.to_csv()
@@ -553,6 +584,54 @@ def _cmd_sim(args, evaluator: Evaluator) -> CommandOutput:
     else:
         text = report.render()
     return CommandOutput(text, report.as_dict())
+
+
+def _sim_fmea(scenario, args, evaluator: Evaluator, mix) -> CommandOutput:
+    """The ``sim --faults`` path: expand, run and tabulate fault scenarios."""
+
+    from .faults import parse_fault_specs, run_fmea
+
+    modes = parse_fault_specs(args.faults, duration_s=args.fault_duration)
+    study = run_fmea(
+        scenario,
+        modes,
+        evaluator=evaluator,
+        n_samples=args.fault_samples,
+        method=args.fault_sampling,
+        fault_seed=args.fault_seed,
+        mix=mix,
+    )
+    if args.format == "csv":
+        text = study.to_csv()
+    elif args.format == "json":
+        text = json.dumps(study.as_dict(), indent=2)
+    else:
+        text = study.render()
+    return CommandOutput(text, study.as_dict())
+
+
+@command("faults", help="the registered fault modes usable with sim --faults")
+def _cmd_faults(args, evaluator: Evaluator) -> CommandOutput:
+    from .faults import default_fault_domain
+
+    records = []
+    for mode in default_fault_domain():
+        params = mode.param_dict()
+        value = next(iter(params.values())) if params else None
+        records.append(
+            {
+                "kind": mode.kind,
+                "default_rate_per_hour": mode.rate_per_hour,
+                "parameter": next(iter(params)) if params else "-",
+                "default": "auto" if value is None else value,
+                "effect": mode.summary,
+            }
+        )
+    text = format_records(
+        records,
+        title="Fault-mode registry (spec syntax: KIND[:RATE[:PARAM]])",
+    )
+    return CommandOutput(text, records)
 
 
 def _sim_board_comparison(scenario, boards: List[str], args, evaluator: Evaluator) -> CommandOutput:

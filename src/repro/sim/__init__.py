@@ -21,7 +21,14 @@ or via the CLI: ``repro-odenet sim rODENet-3 --arrivals poisson --rate 2
 """
 
 from .engine import Event, Process, Simulator, Timeout
-from .metrics import LatencyStats, SimReport, energy_summary, latency_stats
+from .metrics import (
+    LatencyStats,
+    SimReport,
+    energy_summary,
+    latency_stats,
+    slo_summary,
+    windowed_mean,
+)
 from .policies import (
     POLICY_NAMES,
     BatchedPolicy,
@@ -33,7 +40,7 @@ from .policies import (
     max_replicas,
 )
 from .resources import Accelerator, AxiBus, LevelMonitor, Resource
-from .runner import simulate
+from .runner import SimSystem, as_sim_scenario, simulate
 from .scenario import SimScenario
 from .workload import (
     ARRIVAL_KINDS,
@@ -72,9 +79,13 @@ __all__ = [
     "make_policy",
     "max_replicas",
     "SimScenario",
+    "SimSystem",
+    "as_sim_scenario",
     "simulate",
     "SimReport",
     "LatencyStats",
     "latency_stats",
     "energy_summary",
+    "slo_summary",
+    "windowed_mean",
 ]

@@ -159,6 +159,19 @@ class Simulator:
     def process(self, generator: Generator) -> Process:
         return Process(self, generator)
 
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Timeout:
+        """Run ``fn()`` at ``now + delay`` (a one-shot timed callback).
+
+        The hook the fault injector uses: a fault mode's injection and
+        clearing are ordinary timed events on the one queue, so they
+        interleave deterministically with every other event (FIFO tie-break
+        included) and keep fault runs bit-reproducible.
+        """
+
+        timed = self.timeout(delay)
+        timed.add_callback(lambda _value: fn())
+        return timed
+
     def all_of(self, events: Sequence[Event]) -> Event:
         """An event firing once every given event has fired.
 

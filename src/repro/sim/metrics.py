@@ -29,6 +29,7 @@ __all__ = [
     "SimReport",
     "latency_stats",
     "energy_summary",
+    "slo_summary",
     "windowed_mean",
 ]
 
@@ -64,19 +65,26 @@ def windowed_mean(integral_end: float, integral_start: float, window_s: float) -
     The warm-up trimming primitive: monitors accumulate occupancy integrals
     from t = 0, so the mean over ``[warmup_s, horizon]`` is the difference
     of the final integral and the probe's reading at ``warmup_s``, over the
-    window span.  An empty window yields 0 (nothing was measured).
+    window span.  An empty window yields NaN: nothing was measured, and a
+    mean of 0 would be indistinguishable from a genuinely idle system.
     """
 
     if window_s <= 0:
-        return 0.0
+        return float("nan")
     return (integral_end - integral_start) / window_s
 
 
 def latency_stats(samples: Sequence[float], qs: Sequence[int] = PERCENTILES) -> LatencyStats:
-    """Percentile summary of a sample set (empty sets give all-zero stats)."""
+    """Percentile summary of a sample set.
+
+    An empty sample set (e.g. a warm-up window covering the whole run) gives
+    ``count == 0`` and NaN for every statistic — "no data", not "zero
+    latency".  :meth:`SimReport.as_dict` maps the NaNs to JSON ``null``.
+    """
 
     if not len(samples):
-        return LatencyStats(0, 0.0, 0.0, 0.0, {int(q): 0.0 for q in qs})
+        nan = float("nan")
+        return LatencyStats(0, nan, nan, nan, {int(q): nan for q in qs})
     arr = np.asarray(samples, dtype=np.float64)
     pct = np.percentile(arr, list(qs))
     return LatencyStats(
@@ -96,13 +104,16 @@ def energy_summary(
     n_replicas: int,
     completed: int,
     config: Optional[PowerModelConfig] = None,
+    replica_downtime_s: float = 0.0,
 ) -> Dict[str, float]:
     """Energy of the run, with the analytic power model's constants.
 
     The PS subsystem draws ``ps_active_w`` scaled by its mean core
     occupancy and ``ps_idle_w`` for the remainder (with one core this is
     exactly the analytic model's busy/idle split); each PL replica draws its
-    static + dynamic power for the whole horizon.
+    static + dynamic power for the whole horizon.  ``replica_downtime_s``
+    (summed across replicas) credits back the power a dead replica did not
+    draw — a failed accelerator is modelled as fully unpowered.
     """
 
     cfg = config or PowerModelConfig()
@@ -112,6 +123,8 @@ def energy_summary(
     )
     pl_w = float(pl_power_kernel(replica_resources.dsp, replica_resources.bram, cfg))
     pl_j = n_replicas * pl_w * horizon_s
+    if replica_downtime_s:
+        pl_j -= pl_w * replica_downtime_s
     total = ps_j + pl_j
     return {
         "ps_energy_J": ps_j,
@@ -121,6 +134,42 @@ def energy_summary(
         "energy_per_request_J": total / completed if completed else None,
         "average_power_W": total / horizon_s if horizon_s > 0 else 0.0,
     }
+
+
+def slo_summary(requests: Sequence[object], slo_s: float) -> Dict[str, object]:
+    """Fraction of measured requests violating a latency SLO.
+
+    A request violates when its sojourn time exceeds ``slo_s`` *or* its
+    activations were corrupted in flight (a fast wrong answer is still a
+    violation).  With nothing measured, the fraction is NaN.
+    """
+
+    if slo_s <= 0:
+        raise ValueError(f"slo_s must be positive (got {slo_s})")
+    n = len(requests)
+    violations = sum(1 for r in requests if r.latency > slo_s or r.corrupted)
+    return {
+        "slo_s": slo_s,
+        "measured": n,
+        "violations": violations,
+        "violation_fraction": violations / n if n else float("nan"),
+    }
+
+
+def _json_safe(value: object) -> object:
+    """Recursively replace non-finite floats with ``None`` (JSON null).
+
+    Finite values pass through untouched (identity on nominal reports), so
+    this only rewrites the NaN sentinels the warm-up guards produce.
+    """
+
+    if isinstance(value, float) and not np.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -140,12 +189,37 @@ class SimReport:
     bus: Dict[str, float]
     events_processed: int
     batch_sizes: Dict[str, float] = field(default_factory=dict)
+    #: SLO-violation summary (:func:`slo_summary`), when the scenario set one.
+    slo: Optional[Dict[str, object]] = None
+    #: Fault-injection record (modes, injection log, re-dispatch and fallback
+    #: counters, downtime) — only present on fault runs.
+    faults: Optional[Dict[str, object]] = None
+    #: Human-readable caveat, e.g. when warm-up trimming left nothing measured.
+    note: Optional[str] = None
 
     # -- serialisation -----------------------------------------------------------------
 
+    @property
+    def reproducibility(self) -> Dict[str, object]:
+        """The knobs that make this run bit-reproducible from the artifact:
+        RNG seed, resolved warm-up, and resolved replica/core counts (the
+        scenario's ``0 = auto`` values are materialised by the runner)."""
+
+        s = self.scenario
+        out: Dict[str, object] = {
+            "seed": s.get("seed"),
+            "warmup_s": s.get("warmup_s"),
+            "replicas": s.get("replicas"),
+            "ps_cores": s.get("ps_cores"),
+        }
+        if self.faults is not None:
+            out["fault_seed"] = self.faults.get("seed")
+        return out
+
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "scenario": dict(self.scenario),
+            "reproducibility": self.reproducibility,
             "requests": dict(self.requests),
             "horizon_s": self.horizon_s,
             "throughput_rps": self.throughput_rps,
@@ -162,6 +236,13 @@ class SimReport:
             "batch_sizes": dict(self.batch_sizes),
             "events_processed": self.events_processed,
         }
+        if self.slo is not None:
+            out["slo"] = dict(self.slo)
+        if self.faults is not None:
+            out["faults"] = dict(self.faults)
+        if self.note is not None:
+            out["note"] = self.note
+        return _json_safe(out)
 
     def flat_dict(self) -> Dict[str, object]:
         """One CSV-safe row (scenario knobs, then scalar metrics)."""
@@ -185,6 +266,14 @@ class SimReport:
             row[f"util_{key}"] = self.utilization[key]
         row.update({f"queue_{k}": v for k, v in self.queue.items()})
         row.update(self.energy)
+        if self.slo is not None:
+            row["slo_s"] = self.slo["slo_s"]
+            row["slo_violation_fraction"] = self.slo["violation_fraction"]
+        if self.faults is not None:
+            row["fault_redispatched"] = self.faults.get("redispatched", 0)
+            row["fault_ps_fallback"] = self.faults.get("ps_fallback_served", 0)
+            row["fault_corrupted_requests"] = self.faults.get("corrupted_requests", 0)
+            row["fault_replica_downtime_s"] = self.faults.get("replica_downtime_s", 0.0)
         row["events_processed"] = self.events_processed
         return row
 
@@ -248,5 +337,35 @@ class SimReport:
             + (f"{per_request:.6g} J" if per_request is not None else "n/a (0 completed)")
         )
         lines.append(f"  average power      : {self.energy['average_power_W']:.6g} W")
+        if self.slo is not None:
+            frac = self.slo["violation_fraction"]
+            lines.append("[slo]")
+            lines.append(f"  threshold          : {self.slo['slo_s']:.6g} s")
+            lines.append(
+                f"  violations         : {self.slo['violations']} of "
+                f"{self.slo['measured']} measured"
+                + (f" ({100.0 * frac:.1f} %)" if np.isfinite(frac) else " (n/a)")
+            )
+        if self.faults is not None:
+            f = self.faults
+            lines.append("[faults]")
+            for entry in f.get("injections", []):
+                cleared = entry.get("cleared_at")
+                lines.append(
+                    f"  {entry['mode']:<19}: injected at {entry['t_inject']:.4g} s"
+                    + (f", cleared at {cleared:.4g} s" if cleared is not None else ", permanent")
+                )
+            lines.append(f"  re-dispatched      : {f.get('redispatched', 0)}")
+            lines.append(f"  ps fallback        : {f.get('ps_fallback_served', 0)}")
+            lines.append(f"  corrupted requests : {f.get('corrupted_requests', 0)}")
+            lines.append(f"  replica downtime   : {f.get('replica_downtime_s', 0.0):.4g} s")
+        repro = self.reproducibility
+        lines.append(
+            f"[reproducibility] seed={repro['seed']}  warmup={repro['warmup_s']:.4g} s  "
+            f"replicas={repro['replicas']}  ps_cores={repro['ps_cores']}"
+            + (f"  fault_seed={repro['fault_seed']}" if "fault_seed" in repro else "")
+        )
+        if self.note is not None:
+            lines.append(f"[note] {self.note}")
         lines.append(f"[engine] {self.events_processed} events processed")
         return "\n".join(lines)

@@ -114,9 +114,16 @@ class RoundRobinPolicy(DispatchPolicy):
         self._next = 0
 
     def put(self, dispatcher: "Dispatcher", execution: Execution) -> None:
-        index = self._next % len(dispatcher.accelerators)
-        self._next += 1
-        dispatcher.per_replica[index].append(execution)
+        n = len(dispatcher.accelerators)
+        for _ in range(n):
+            index = self._next % n
+            self._next += 1
+            if dispatcher.alive[index]:
+                dispatcher.per_replica[index].append(execution)
+                return
+        # Callers guarantee alive_count > 0 (submit() and fail_replica()
+        # route to the PS fallback before calling put on a dead fleet).
+        raise RuntimeError("round_robin put with no live replica")
 
     def take(self, dispatcher: "Dispatcher", accelerator: Accelerator) -> List[Execution]:
         queue = dispatcher.per_replica[accelerator.index]
@@ -164,6 +171,22 @@ class Dispatcher:
         self.pending = LevelMonitor(sim)
         self.batch_sizes: List[int] = []
         self._idle: List[Optional[Event]] = [None] * len(self.accelerators)
+        # -- degraded-mode state (inert in nominal runs) -------------------------------
+        #: Liveness of each replica; fail_replica()/revive_replica() flip it.
+        self.alive: List[bool] = [True] * len(self.accelerators)
+        self.alive_count = len(self.accelerators)
+        #: Executions currently being served per replica (re-dispatch victims).
+        self._inflight: List[List[Execution]] = [[] for _ in self.accelerators]
+        #: Invocations drained off a dead replica and queued again elsewhere.
+        self.redispatched = 0
+        #: Invocations served by the PS software fallback (dead fleet).
+        self.fallback_served = 0
+        #: Installed by the runner: ``ps_fallback(execution)`` runs the
+        #: invocation on a PS core when no replica survives.
+        self.ps_fallback = None
+        #: Installed by the DMA-corruption fault mode: ``corruptor(request)``
+        #: is called once per input DMA burst while the fault is active.
+        self.corruptor = None
         for acc in self.accelerators:
             sim.process(self._worker(acc))
 
@@ -179,32 +202,105 @@ class Dispatcher:
 
         execution = Execution(request, plx, self.sim.event())
         execution.submitted = self.sim.now
+        if self.alive_count == 0:
+            self._fallback(execution)
+            return execution.done
         self.policy.put(self, execution)
         self.pending.set(self.queued)
+        self._wake(execution)
+        return execution.done
+
+    def _wake(self, execution: Execution) -> None:
         for acc in self.policy.wake_candidates(self, execution):
+            if not self.alive[acc.index]:
+                continue
             wake = self._idle[acc.index]
             if wake is not None:
                 self._idle[acc.index] = None
                 wake.succeed(None)
                 break
-        return execution.done
+
+    # -- fault hooks -------------------------------------------------------------------
+
+    def fail_replica(self, index: int) -> None:
+        """Kill replica ``index``: drain its work and re-dispatch it.
+
+        In-flight invocations (their results are lost with the replica) and
+        anything pinned to its queue are resubmitted to the surviving
+        replicas as of *now*; when none survive, everything queued anywhere
+        flushes to the PS software fallback.  DMA bursts already on the bus
+        run to completion — the worker aborts at its next resume point, so
+        bus channels never leak.
+        """
+
+        if not self.alive[index]:
+            return
+        acc = self.accelerators[index]
+        self.alive[index] = False
+        self.alive_count -= 1
+        acc.busy.set(0)
+        acc.down.set(1)
+        self._idle[index] = None
+        victims = [e for e in self._inflight[index] if not e.done.triggered]
+        self._inflight[index] = []
+        victims.extend(self.per_replica[index])
+        self.per_replica[index].clear()
+        if self.alive_count == 0:
+            victims.extend(self.shared)
+            self.shared.clear()
+        self.redispatched += len(victims)
+        for execution in victims:
+            execution.submitted = self.sim.now
+            if self.alive_count == 0:
+                self._fallback(execution)
+            else:
+                self.policy.put(self, execution)
+                self._wake(execution)
+        self.pending.set(self.queued)
+
+    def revive_replica(self, index: int) -> None:
+        """Bring replica ``index`` back (a fresh worker starts immediately)."""
+
+        if self.alive[index]:
+            return
+        acc = self.accelerators[index]
+        self.alive[index] = True
+        self.alive_count += 1
+        acc.down.set(0)
+        self.sim.process(self._worker(acc))
+
+    def _fallback(self, execution: Execution) -> None:
+        if self.ps_fallback is None:
+            raise RuntimeError(
+                "all accelerator replicas are dead and no PS fallback is installed"
+            )
+        self.fallback_served += 1
+        self.ps_fallback(execution)
 
     # -- replica service loop ----------------------------------------------------------
 
     def _worker(self, acc: Accelerator) -> Generator:
-        while True:
+        while self.alive[acc.index]:
             batch = self.policy.take(self, acc)
             if not batch:
                 wake = self.sim.event()
                 self._idle[acc.index] = wake
                 yield wake
+                if not self.alive[acc.index]:
+                    return
                 continue
             self.pending.set(self.queued)
             self.batch_sizes.append(len(batch))
             for execution in batch:
                 execution.request.pl_wait += self.sim.now - execution.submitted
+            self._inflight[acc.index] = list(batch)
             acc.busy.set(1)
             yield from self._serve(acc, batch)
+            if not self.alive[acc.index]:
+                # Killed mid-batch: fail_replica() already zeroed the busy
+                # monitor and re-dispatched the unfinished invocations.
+                return
+            self._inflight[acc.index] = []
             acc.busy.set(0)
             acc.served += len(batch)
 
@@ -216,19 +312,32 @@ class Dispatcher:
         invocation's completion event fires when its *output* transfer lands.
         A batch of one reduces to the strictly sequential
         (DMA in, compute, DMA out) transaction of the analytic model.
+
+        Every completion is routed through :meth:`_finish`, which is a no-op
+        once the replica died (the invocation was re-dispatched; letting the
+        orphaned service finish it would double-fire its ``done`` event), and
+        the generator aborts at the first resume point after a kill.
         """
 
         sim = self.sim
         yield from self._transfer_in(batch[0])
+        if not self.alive[acc.index]:
+            return
         previous: Optional[Execution] = None
         for i, execution in enumerate(batch):
             upcoming = batch[i + 1] if i + 1 < len(batch) else None
             compute = sim.process(self._compute(execution))
-            overlap = sim.process(self._overlap_dma(previous, upcoming))
+            overlap = sim.process(self._overlap_dma(acc, previous, upcoming))
             yield sim.all_of((compute, overlap))
+            if not self.alive[acc.index]:
+                return
             previous = execution
         yield from self._transfer_out(previous)
-        previous.done.succeed(None)
+        self._finish(acc, previous)
+
+    def _finish(self, acc: Accelerator, execution: Execution) -> None:
+        if self.alive[acc.index] and not execution.done.triggered:
+            execution.done.succeed(None)
 
     def _compute(self, execution: Execution) -> Generator:
         yield self.sim.timeout(execution.plx.compute_seconds)
@@ -239,6 +348,8 @@ class Dispatcher:
     # under a non-default transfer model.
 
     def _transfer_in(self, execution: Execution) -> Generator:
+        if self.corruptor is not None:
+            self.corruptor(execution.request)
         yield from self.bus.transfer(
             execution.plx.words_in, execution.plx.transfer_in_seconds
         )
@@ -249,11 +360,14 @@ class Dispatcher:
         )
 
     def _overlap_dma(
-        self, finished: Optional[Execution], upcoming: Optional[Execution]
+        self,
+        acc: Accelerator,
+        finished: Optional[Execution],
+        upcoming: Optional[Execution],
     ) -> Generator:
         if finished is not None:
             yield from self._transfer_out(finished)
-            finished.done.succeed(None)
+            self._finish(acc, finished)
         if upcoming is not None:
             yield from self._transfer_in(upcoming)
 

@@ -105,15 +105,35 @@ class Resource:
             self.queue_depth.set(len(self._waiting))
         return grant
 
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the unit pool mid-run (the PS-core-loss fault hook).
+
+        Shrinking never preempts: current users finish their holds, and the
+        pool drains down to the new capacity as they release.  Growing grants
+        the freed units straight to the longest-waiting requests.
+        """
+
+        if capacity < 1:
+            raise ValueError(f"capacity must be a positive integer (got {capacity})")
+        self.capacity = capacity
+        while self._waiting and self.users < self.capacity:
+            self.users += 1
+            self.busy.set(self.users)
+            grant = self._waiting.popleft()
+            self.queue_depth.set(len(self._waiting))
+            grant.succeed(None)
+
     def release(self) -> None:
         """Return one unit; the longest-waiting request (if any) is granted."""
 
         if self.users <= 0:
             raise RuntimeError(f"release of idle resource '{self.name}'")
-        if self._waiting:
+        if self._waiting and self.users <= self.capacity:
             # Hand the unit straight to the next waiter: occupancy stays
             # constant and the grant fires at the current time, after any
-            # event already queued "now" (FIFO tie-break).
+            # event already queued "now" (FIFO tie-break).  (The users check
+            # only bites after a mid-run capacity shrink, when over-capacity
+            # holds must drain instead of being handed on.)
             grant = self._waiting.popleft()
             self.queue_depth.set(len(self._waiting))
             grant.succeed(None)
@@ -150,6 +170,23 @@ class AxiBus(Resource):
         self.model = model or AxiTransferModel()
         self.words_moved = 0
         self.transfers = 0
+        #: Multiplier on every burst's transfer time (1.0 = nominal).  The
+        #: AXI-degradation fault mode sets this to the ratio of degraded to
+        #: nominal cycles-per-word (see ``repro.faults.modes.AxiDegradation``).
+        self.slowdown = 1.0
+
+    def degrade(self, slowdown: float) -> float:
+        """Set the burst-time multiplier; returns the previous value.
+
+        The return value is the clear token: a fault mode restores the bus by
+        passing back what :meth:`degrade` returned at injection.
+        """
+
+        if slowdown <= 0:
+            raise ValueError(f"slowdown must be positive (got {slowdown})")
+        previous = self.slowdown
+        self.slowdown = slowdown
+        return previous
 
     def transfer(self, words: int, seconds: Optional[float] = None) -> Generator:
         """Process fragment: move ``words`` over the bus (one DMA burst).
@@ -167,9 +204,10 @@ class AxiBus(Resource):
             return
         self.words_moved += words
         self.transfers += 1
-        yield from self.use(
-            self.model.transfer_seconds(words) if seconds is None else seconds
-        )
+        seconds = self.model.transfer_seconds(words) if seconds is None else seconds
+        if self.slowdown != 1.0:
+            seconds = seconds * self.slowdown
+        yield from self.use(seconds)
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -193,6 +231,10 @@ class Accelerator:
         self.name = f"pl{index}"
         self.resources = resources or ResourceVector()
         self.busy = LevelMonitor(sim)
+        # Downtime accounting for the replica-death fault mode: level 1 while
+        # the replica is dead, so the integral is seconds of downtime (the
+        # energy model credits back the dead replica's PL power draw).
+        self.down = LevelMonitor(sim)
         self.served = 0
 
     def utilization(self, horizon: float) -> float:

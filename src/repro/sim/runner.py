@@ -24,17 +24,19 @@ ground the simulator opens.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..api.evaluator import Evaluator
 from ..api.scenario import Scenario
+from ..fixedpoint.qformat import QFormat
 from ..fpga.device import ResourceVector
 from ..fpga.power import PowerModelConfig
 from .engine import Simulator
-from .metrics import SimReport, energy_summary, latency_stats, windowed_mean
-from .policies import Dispatcher, make_policy, max_replicas
+from .metrics import SimReport, energy_summary, latency_stats, slo_summary, windowed_mean
+from .policies import Dispatcher, Execution, make_policy, max_replicas
 from .resources import Accelerator, AxiBus, Resource
 from .scenario import SimScenario
 from .workload import (
@@ -46,10 +48,10 @@ from .workload import (
     sample_mix,
 )
 
-__all__ = ["simulate"]
+__all__ = ["SimSystem", "as_sim_scenario", "simulate"]
 
 
-def _as_sim_scenario(scenario: Scenario) -> SimScenario:
+def as_sim_scenario(scenario: Scenario) -> SimScenario:
     """Promote a plain scenario to a single-request simulation scenario."""
 
     if isinstance(scenario, SimScenario):
@@ -59,6 +61,29 @@ def _as_sim_scenario(scenario: Scenario) -> SimScenario:
         n_requests=1,
         **scenario.as_dict(),
     )
+
+
+@dataclass
+class SimSystem:
+    """Handles a fault mode manipulates at injection/clear time.
+
+    The contract between :mod:`repro.sim` and :mod:`repro.faults`: modes are
+    duck-typed objects with ``inject(system) -> token`` /
+    ``clear(system, token)`` plus ``kind``, ``rate_per_hour`` and
+    ``duration_s`` attributes — the runner never imports the faults package.
+    """
+
+    sim: Simulator
+    ps: Resource
+    bus: AxiBus
+    dispatcher: Dispatcher
+    accelerators: List[Accelerator]
+    #: Q-format of the simulated datapath (DMA corruption flips its bits).
+    qformat: QFormat
+    #: Fault-dedicated RNG (separate stream from the workload's seed, so
+    #: injecting a fault never perturbs arrivals or mix sampling).
+    rng: np.random.Generator
+    counters: Dict[str, int] = field(default_factory=dict)
 
 
 def _request_process(
@@ -86,10 +111,70 @@ def _request_process(
     completed.append(request)
 
 
+def _normalize_faults(faults: Optional[Sequence[object]]) -> List[Tuple[object, float]]:
+    """Accept fault samples, ``(mode, t)`` pairs or bare modes (t = 0)."""
+
+    if not faults:
+        return []
+    out: List[Tuple[object, float]] = []
+    for entry in faults:
+        if hasattr(entry, "mode") and hasattr(entry, "t_inject"):
+            mode, t = entry.mode, float(entry.t_inject)
+        elif isinstance(entry, tuple) and len(entry) == 2:
+            mode, t = entry[0], float(entry[1])
+        elif hasattr(entry, "inject"):
+            mode, t = entry, 0.0
+        else:
+            raise TypeError(
+                f"fault entry {entry!r} is neither a FaultSample, a (mode, time) "
+                "pair nor a fault mode"
+            )
+        if t < 0:
+            raise ValueError(f"fault injection time must be non-negative (got {t})")
+        out.append((mode, t))
+    return out
+
+
+def _arm_fault(
+    sim: Simulator,
+    system: SimSystem,
+    mode: object,
+    t_inject: float,
+    log: List[Dict[str, object]],
+    times: List[float],
+) -> None:
+    """Schedule one fault's injection (and clearing, for transient faults)."""
+
+    entry: Dict[str, object] = {
+        "mode": mode.kind,
+        "rate_per_hour": mode.rate_per_hour,
+        "t_inject": t_inject,
+        "cleared_at": None,
+    }
+    log.append(entry)
+    token_box: Dict[str, object] = {}
+
+    def clear() -> None:
+        mode.clear(system, token_box.get("token"))
+        entry["cleared_at"] = sim.now
+        times.append(sim.now)
+
+    def fire() -> None:
+        token_box["token"] = mode.inject(system)
+        entry["t_inject"] = sim.now
+        times.append(sim.now)
+        if mode.duration_s is not None:
+            sim.schedule(mode.duration_s, clear)
+
+    sim.schedule(t_inject, fire)
+
+
 def simulate(
     scenario: Scenario,
     evaluator: Optional[Evaluator] = None,
     mix: Optional[Sequence[Tuple[Scenario, float]]] = None,
+    faults: Optional[Sequence[object]] = None,
+    fault_seed: int = 0,
 ) -> SimReport:
     """Run one serving simulation and summarise it.
 
@@ -107,10 +192,20 @@ def simulate(
         weight), ...]``.  Mixed scenarios share the simulated hardware, so
         they must agree on board, clock, MAC units and Q-format with the
         main scenario (the replicas are physical datapaths).
+    faults:
+        Optional fault injections: :class:`~repro.faults.sample.FaultSample`
+        objects, ``(mode, t_inject)`` pairs, or bare fault modes (injected at
+        t = 0).  An empty sequence is *exactly* the nominal run — every hook
+        is an inert conditional, so ``simulate(s)`` and
+        ``simulate(s, faults=[])`` are bit-identical.
+    fault_seed:
+        Seed of the fault-dedicated RNG (bit-flip positions, sampled
+        activation values); independent of the workload ``seed``.
     """
 
-    sim_scenario = _as_sim_scenario(scenario)
+    sim_scenario = as_sim_scenario(scenario)
     ev = evaluator if evaluator is not None else Evaluator()
+    injections = _normalize_faults(faults)
 
     # -- replica sizing and per-replica footprint (energy model) ----------------------
     # Both budgets are per-board: auto-sized replicas pack the board's
@@ -165,6 +260,40 @@ def simulate(
         sim, bus, accelerators, make_policy(sim_scenario.policy, sim_scenario.batch_size)
     )
 
+    # Degraded-mode escape hatch: when every replica is dead, an offloaded
+    # invocation runs as software on a PS core (the paper's all-software
+    # path, priced by the same execution report).  Installed unconditionally
+    # but only ever called once fail_replica() has emptied the fleet.
+    def _fallback_process(execution: Execution) -> Generator:
+        yield ps.request()
+        execution.request.pl_wait += sim.now - execution.submitted
+        yield sim.timeout(execution.plx.ps_fallback_seconds)
+        ps.release()
+        if not execution.done.triggered:
+            execution.done.succeed(None)
+
+    dispatcher.ps_fallback = lambda execution: sim.process(_fallback_process(execution))
+
+    # -- fault injection --------------------------------------------------------------
+    # Each injection is a timed callback on the one event queue
+    # (Simulator.schedule), so fault runs stay bit-reproducible; with no
+    # injections nothing below schedules anything and the run is nominal.
+    fault_log: List[Dict[str, object]] = []
+    fault_times: List[float] = []
+    if injections:
+        system = SimSystem(
+            sim=sim,
+            ps=ps,
+            bus=bus,
+            dispatcher=dispatcher,
+            accelerators=accelerators,
+            qformat=design.qformat,
+            rng=np.random.default_rng(fault_seed),
+            counters={},
+        )
+        for mode, t_inject in injections:
+            _arm_fault(sim, system, mode, t_inject, fault_log, fault_times)
+
     # Warm-up trimming: a probe snapshots every occupancy integral at
     # ``warmup_s`` so the reported metrics cover [warmup_s, horizon] only.
     # Only spawned when asked — the probe's timeout would otherwise pin the
@@ -179,6 +308,7 @@ def simulate(
         marks["queue"] = dispatcher.pending.reading()
         for acc in accelerators:
             marks[acc.name] = acc.busy.reading()
+            marks[f"{acc.name}_down"] = acc.down.reading()
         # Peak/batch statistics restart at the window too: the transient the
         # user asked to trim must not leak into any 'queue' metric.
         dispatcher.pending.peak = dispatcher.pending.level
@@ -202,20 +332,29 @@ def simulate(
 
     # -- summary ----------------------------------------------------------------------
     horizon = sim.now
-    if warmup > 0.0:
-        # The probe's timeout keeps the simulator alive until ``warmup_s``;
-        # if every request finished earlier, that idle tail is measurement
-        # artefact, not serving activity — clamp the horizon to the last
-        # real event so a too-long warm-up reads as an empty window over
-        # the true run, not as a 0-throughput run of length warmup_s.
+    if warmup > 0.0 or injections:
+        # The probe's timeout (and any fault scheduled past the last
+        # completion) keeps the simulator alive beyond the served work; that
+        # idle tail is measurement artefact, not serving activity — clamp
+        # the horizon to the last real event so a too-long warm-up reads as
+        # an empty window over the true run, not as a 0-throughput run of
+        # length warmup_s.  Fault injection/clear instants count as real
+        # events (a dead replica's downtime is genuine system state).
         last_arrival = float(arrivals[-1]) if len(arrivals) else 0.0
         last_completion = max((r.completed for r in completed), default=0.0)
-        horizon = min(horizon, max(last_arrival, last_completion))
+        last_fault = max(fault_times, default=0.0)
+        horizon = min(horizon, max(last_arrival, last_completion, last_fault))
     ps_busy = ps.busy.finalize(horizon)
     pending_integral = dispatcher.pending.finalize(horizon)
     bus_busy = bus.busy.finalize(horizon)
     for acc in accelerators:
         acc.busy.finalize(horizon)
+    replica_downtime = 0.0
+    if injections:
+        replica_downtime = sum(
+            acc.down.finalize(horizon) - marks.get(f"{acc.name}_down", 0.0)
+            for acc in accelerators
+        )
     # The measurement window: [warmup, horizon].  With warmup == 0 the marks
     # default to 0 and every expression below reduces to the whole-run value.
     window_start = min(warmup, horizon)
@@ -243,6 +382,27 @@ def simulate(
         windowed_mean(acc.busy.integral, marks.get(acc.name, 0.0), window)
         for acc in accelerators
     ]
+    note: Optional[str] = None
+    if not measured and len(requests):
+        note = (
+            "nothing measured: the warm-up window covers the entire run, so "
+            "latency/throughput/utilization are NaN (JSON null)"
+        )
+    slo: Optional[Dict[str, object]] = None
+    if sim_scenario.slo_s is not None:
+        slo = slo_summary(measured, sim_scenario.slo_s)
+    faults_dict: Optional[Dict[str, object]] = None
+    if injections:
+        faults_dict = {
+            "seed": fault_seed,
+            "injections": fault_log,
+            "redispatched": dispatcher.redispatched,
+            "ps_fallback_served": dispatcher.fallback_served,
+            "corrupted_requests": sum(1 for r in measured if r.corrupted),
+            "corrupted_words": int(system.counters.get("corrupted_words", 0)),
+            "replica_downtime_s": replica_downtime,
+            "replicas_alive_end": dispatcher.alive_count,
+        }
     return SimReport(
         scenario=scenario_dict,
         requests={
@@ -251,12 +411,14 @@ def simulate(
             "measured": len(measured),
         },
         horizon_s=horizon,
-        throughput_rps=len(measured) / window if window > 0 else 0.0,
+        throughput_rps=len(measured) / window if window > 0 else float("nan"),
         service_s=plans[design].total_seconds,
         latency=latency_stats(latencies),
         wait=latency_stats(waits),
         utilization={
-            "ps": windowed_mean(ps_busy, marks.get("ps", 0.0), window) / ps.capacity,
+            # Mid-run capacity faults (PS-core loss) mutate ps.capacity; the
+            # report normalises by the *provisioned* counts throughout.
+            "ps": windowed_mean(ps_busy, marks.get("ps", 0.0), window) / ps_cores,
             "axi": windowed_mean(bus_busy, marks.get("bus", 0.0), window) / bus.capacity,
             "accelerators": acc_util,
             "accelerator_mean": sum(acc_util) / n_replicas,
@@ -273,10 +435,14 @@ def simulate(
             n_replicas=n_replicas,
             completed=len(measured),
             config=PowerModelConfig.for_board(board),
+            replica_downtime_s=replica_downtime,
         ),
         bus=bus.as_dict(),
         events_processed=sim.events_processed,
         batch_sizes=batch_sizes,
+        slo=slo,
+        faults=faults_dict,
+        note=note,
     )
 
 

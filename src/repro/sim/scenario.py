@@ -68,6 +68,11 @@ class SimScenario(Scenario):
     #: metrics are computed over ``[warmup_s, horizon]`` only (transient
     #: start-up behaviour trimmed).  0 measures the whole run.
     warmup_s: float = 0.0
+    #: Per-request latency SLO (seconds).  When set, the report carries an
+    #: SLO-violation summary (late or corrupted completions); ``None`` skips
+    #: it.  The FMEA tabulator defaults a missing SLO to twice the no-load
+    #: service time (the knee convention of ``examples/serving_study.py``).
+    slo_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -103,6 +108,8 @@ class SimScenario(Scenario):
             raise ValueError("dma_channels must be a positive integer")
         if self.warmup_s < 0:
             raise ValueError("warmup_s must be non-negative")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError("slo_s must be positive (or None)")
 
     # -- views -------------------------------------------------------------------------
 
@@ -130,6 +137,7 @@ class SimScenario(Scenario):
                 "ps_cores": self.ps_cores,
                 "dma_channels": self.dma_channels,
                 "warmup_s": self.warmup_s,
+                "slo_s": self.slo_s,
             }
         )
         return out

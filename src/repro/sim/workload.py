@@ -60,6 +60,10 @@ class Request:
     completed: Optional[float] = None
     ps_wait: float = 0.0
     pl_wait: float = 0.0
+    #: Set by the DMA-corruption fault mode when a bit flip lands in the
+    #: request's activations badly enough to saturate the fixed-point
+    #: accumulators; a corrupted completion counts as an SLO violation.
+    corrupted: bool = False
 
     @property
     def latency(self) -> float:
@@ -93,6 +97,10 @@ class PlExecution:
     transfer_in_seconds: float
     transfer_out_seconds: float
     compute_seconds: float
+    #: Software time of the same block execution on a PS core — the
+    #: degraded-mode price when every PL replica is dead and the dispatcher
+    #: falls back to the paper's all-software path for this invocation.
+    ps_fallback_seconds: float = 0.0
 
     @property
     def seconds(self) -> float:
@@ -170,6 +178,7 @@ def build_service_plan(
                     transfer_in_seconds=t_in,
                     transfer_out_seconds=t_out,
                     compute_seconds=compute,
+                    ps_fallback_seconds=entry.software_seconds_per_execution,
                 )
             )
     segments.append(PsSegment(layer="overhead", seconds=report.overhead_seconds))

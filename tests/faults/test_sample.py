@@ -1,0 +1,95 @@
+"""Property tests of fault-scenario time sampling (fmdtools-style)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    SAMPLING_METHODS,
+    FaultSample,
+    ReplicaDeath,
+    default_fault_domain,
+    injection_times,
+    sample_faults,
+)
+
+horizons = st.floats(min_value=1e-3, max_value=1e5, allow_nan=False, allow_infinity=False)
+counts = st.integers(min_value=1, max_value=12)
+methods = st.sampled_from(SAMPLING_METHODS)
+
+
+@settings(max_examples=200, deadline=None)
+@given(horizons, counts, methods)
+def test_weights_sum_to_one(horizon, n, method):
+    _, weights = injection_times(horizon, n, method)
+    assert len(weights) == n
+    assert sum(weights) == pytest.approx(1.0)
+    assert all(w > 0 for w in weights)
+
+
+@settings(max_examples=200, deadline=None)
+@given(horizons, counts, methods)
+def test_times_lie_strictly_inside_the_horizon(horizon, n, method):
+    times, _ = injection_times(horizon, n, method)
+    assert len(times) == n
+    assert all(0.0 < t < horizon for t in times)
+    # Sorted, distinct nodes for either rule.
+    assert times == sorted(times)
+    assert len(set(times)) == n
+
+
+@settings(max_examples=100, deadline=None)
+@given(horizons, counts, methods)
+def test_zero_rate_modes_never_fire(horizon, n, method):
+    modes = [ReplicaDeath(rate_per_hour=0.0), ReplicaDeath(rate_per_hour=1.0)]
+    samples = sample_faults(modes, horizon, n, method)
+    assert len(samples) == n  # only the live-rate mode expands
+    assert all(s.mode.rate_per_hour > 0 for s in samples)
+    assert sum(s.weight for s in samples) == pytest.approx(1.0)
+
+
+class TestSamplingRules:
+    def test_even_is_the_midpoint_rule(self):
+        times, weights = injection_times(10.0, 4, "even")
+        assert times == [1.25, 3.75, 6.25, 8.75]
+        assert weights == [0.25] * 4
+
+    def test_quadrature_single_node_is_the_midpoint(self):
+        times, weights = injection_times(10.0, 1, "quadrature")
+        assert times == [pytest.approx(5.0)]
+        assert weights == [pytest.approx(1.0)]
+
+    def test_quadrature_integrates_a_cubic_exactly(self):
+        # n Gauss-Legendre nodes are exact up to degree 2n-1; with n=2 the
+        # weighted sum of t^3 over [0, h] must equal the true mean h^3/4.
+        times, weights = injection_times(2.0, 2, "quadrature")
+        estimate = sum(w * t**3 for t, w in zip(times, weights))
+        assert estimate == pytest.approx(2.0**3 / 4.0)
+
+    def test_default_domain_expansion_is_per_mode(self):
+        samples = sample_faults(default_fault_domain(), 30.0, n_samples=3)
+        assert len(samples) == 3 * len(default_fault_domain())
+        assert all(isinstance(s, FaultSample) for s in samples)
+
+    def test_sample_serialises(self):
+        (s, *_) = sample_faults([ReplicaDeath(rate_per_hour=2.0)], 10.0, 1)
+        d = s.as_dict()
+        assert d["mode"]["kind"] == "replica_death"
+        assert d["t_inject"] == pytest.approx(5.0)
+        assert d["weight"] == 1.0
+
+
+class TestValidation:
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon_s"):
+            injection_times(0.0)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            injection_times(1.0, 0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="sampling method"):
+            injection_times(1.0, 3, "sobol")

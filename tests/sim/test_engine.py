@@ -169,6 +169,25 @@ class TestProcesses:
         assert done.processed and done.value == []
 
 
+class TestSchedule:
+    def test_schedule_fires_a_callback_after_the_delay(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_schedule_shares_the_fifo_queue(self):
+        """A scheduled callback ties with a timeout in scheduling order."""
+
+        sim = Simulator()
+        order = []
+        sim.timeout(1.0).add_callback(lambda _v: order.append("timeout"))
+        sim.schedule(1.0, lambda: order.append("callback"))
+        sim.run()
+        assert order == ["timeout", "callback"]
+
+
 class TestRunUntil:
     def test_until_stops_the_clock(self):
         sim = Simulator()

@@ -24,11 +24,13 @@ class TestLatencyStats:
         assert stats.minimum == min(samples)
         assert stats.maximum == max(samples)
 
-    def test_empty_samples(self):
+    def test_empty_samples_are_nan_not_zero(self):
+        # "No data" must be distinguishable from "zero latency": every
+        # statistic is NaN, and SimReport.as_dict maps it to JSON null.
         stats = latency_stats([])
         assert stats.count == 0
-        assert stats.mean == 0.0
-        assert stats.as_dict()["p95_s"] == 0.0
+        assert np.isnan(stats.mean)
+        assert np.isnan(stats.as_dict()["p95_s"])
 
 
 class TestEnergySummary:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.api import Evaluator, SimScenario, simulate
@@ -27,8 +28,10 @@ class TestWindowedMean:
     def test_difference_over_window(self):
         assert windowed_mean(10.0, 4.0, 3.0) == pytest.approx(2.0)
 
-    def test_empty_window_is_zero(self):
-        assert windowed_mean(10.0, 4.0, 0.0) == 0.0
+    def test_empty_window_is_nan(self):
+        # A zero-width window measured nothing; 0 would read as "idle".
+        assert np.isnan(windowed_mean(10.0, 4.0, 0.0))
+        assert np.isnan(windowed_mean(10.0, 4.0, -1.0))
 
 
 class TestWarmupTrimming:
@@ -72,7 +75,13 @@ class TestWarmupTrimming:
         )
         assert report.requests["measured"] == 0
         assert report.latency.count == 0
-        assert report.throughput_rps == 0.0
+        # Nothing measured reads as NaN (null in JSON), never as 0 rps /
+        # 0 s latency, and the report says so.
+        assert np.isnan(report.throughput_rps)
+        assert np.isnan(report.latency.mean)
+        assert report.note is not None and "warm-up" in report.note
+        assert report.as_dict()["throughput_rps"] is None
+        assert "[note]" in report.render()
         # Regression: the warm-up probe must not inflate the horizon — the
         # report still describes the real run, just with an empty window.
         assert report.horizon_s == pytest.approx(full.horizon_s)
