@@ -15,9 +15,18 @@ Two measurements:
    produce; the curve printed here is the quantitative answer to "how much
    traffic can one board take?".
 
+3. **Fleet throughput** (``--fleet``) — a day-length (86 400 s) Poisson trace
+   of more than a million requests over a mixed 8x PYNQ-Z2 + 4x ZCU104
+   fleet through :func:`repro.fleet.simulate_fleet`.  Asserts the fast
+   kernel's events/sec floor (the tentpole claim: million-request day
+   traces in seconds of wall clock) and that the streaming quantile
+   sketch's p50/p90/p95/p99 land within 1 % of the exact (stored-sample)
+   percentiles on the same run.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_sim_throughput.py            # full
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py            # engine+saturation
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py --fleet    # fleet bench
     PYTHONPATH=src python benchmarks/bench_sim_throughput.py --quick    # CI smoke
 """
 
@@ -31,6 +40,13 @@ from repro.api import Evaluator
 from repro.sim import SimScenario, Simulator, simulate
 
 MIN_EVENTS_PER_SEC = 100_000.0
+
+#: The fleet kernel's asserted floor (full run; --quick uses half).  The
+#: reference container sustains ~350k events/sec on the day-length trace.
+MIN_FLEET_EVENTS_PER_SEC = 100_000.0
+
+#: Maximum relative error of the streaming sketch vs exact percentiles.
+MAX_SKETCH_RELATIVE_ERROR = 0.01
 
 
 def bench_engine(n_processes: int, hops: int) -> float:
@@ -82,10 +98,79 @@ def bench_saturation(rates, replicas_list, n_requests: int) -> None:
             )
 
 
+def bench_fleet(quick: bool) -> int:
+    """Day-length fleet run: events/sec floor + sketch-vs-exact differential."""
+
+    from repro.fleet import BoardGroup, FleetScenario, TrafficClass, simulate_fleet
+
+    duration_s = 7_200.0 if quick else 86_400.0
+    floor = MIN_FLEET_EVENTS_PER_SEC / 2 if quick else MIN_FLEET_EVENTS_PER_SEC
+    scenario = FleetScenario(
+        boards=(BoardGroup("PYNQ-Z2", 8), BoardGroup("ZCU104", 4)),
+        classes=(
+            TrafficClass("interactive", weight=0.9),
+            TrafficClass("nightly", weight=0.1, kind="batch"),
+        ),
+        arrival_rate_hz=12.0,
+        duration_s=duration_s,
+        cells=4,
+        seed=0,
+    )
+
+    start = time.perf_counter()
+    report = simulate_fleet(scenario)
+    elapsed = time.perf_counter() - start
+    eps = report.events_processed / elapsed
+    offered = report.requests["offered"]
+    print(
+        f"fleet: {offered:,} requests over {duration_s / 3600.0:.0f} h on "
+        f"8x PYNQ-Z2 + 4x ZCU104 -> {elapsed:.2f} s wall, {eps:,.0f} events/sec"
+    )
+    print(
+        f"       completed {report.requests['completed']:,}, "
+        f"rejected {report.requests['rejected']:,}, "
+        f"p99 {report.latency.percentiles[99] * 1e3:.1f} ms, "
+        f"sketch bins {report.latency_sketch.bins_used}"
+    )
+    ok = True
+    if not quick and offered < 1_000_000:
+        print(f"FAIL: expected >= 1M offered requests (got {offered:,})", file=sys.stderr)
+        ok = False
+    if eps < floor:
+        print(f"FAIL: fleet kernel below {floor:,.0f} events/sec", file=sys.stderr)
+        ok = False
+
+    # Differential: the same scenario with exact (stored-sample) percentiles.
+    exact = simulate_fleet(scenario.replace(exact=True))
+    print("sketch vs exact percentiles:")
+    for q in (50, 90, 95, 99):
+        approx = report.latency.percentiles[q]
+        truth = exact.latency.percentiles[q]
+        rel = abs(approx - truth) / truth if truth else 0.0
+        print(f"  p{q:<3}: sketch {approx:.6g} s, exact {truth:.6g} s, rel err {rel:.4%}")
+        if rel > MAX_SKETCH_RELATIVE_ERROR:
+            print(
+                f"FAIL: sketch p{q} off by {rel:.4%} "
+                f"(> {MAX_SKETCH_RELATIVE_ERROR:.0%})",
+                file=sys.stderr,
+            )
+            ok = False
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="CI smoke (small runs, no floor)")
+    parser.add_argument(
+        "--fleet", action="store_true",
+        help="run the fleet benchmark (events/sec floor + sketch differential)",
+    )
     args = parser.parse_args(argv)
+
+    if args.fleet:
+        code = bench_fleet(args.quick)
+        print("\nok" if code == 0 else "\nFAILED")
+        return code
 
     if args.quick:
         n_processes, hops = 200, 20

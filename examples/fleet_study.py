@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Fleet study: where is the p99 knee, and what does heterogeneity buy?
+
+The single-board serving study (``examples/serving_study.py``) finds the
+rate at which one board stops keeping up.  The deployment question one
+level up is: *given a rack budget, how should it be populated?*  Twelve
+cheap PYNQ-Z2s, a few fat ZCU104s, or a mix — and where does each fleet's
+p99 latency leave the floor as offered load grows?
+
+This example sweeps the offered Poisson rate over three same-size fleets
+through :func:`repro.fleet.simulate_fleet` (fast analytic kernel, SLO
+admission off so queueing is visible) and prints delivered throughput and
+p99 latency per point, then each fleet's **knee** — the highest offered
+rate whose p99 stays within ``KNEE_FACTOR`` x its no-load p99.  The mixed
+fleet's knee sits between the homogeneous ones, but its energy per request
+stays near the cheap fleet's — the quantitative version of the paper's
+low-cost-FPGA deployment story.
+
+Run:  PYTHONPATH=src python examples/fleet_study.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_records
+from repro.api import Evaluator
+from repro.fleet import BoardGroup, FleetScenario, simulate_fleet
+
+EVALUATOR = Evaluator()
+
+#: Knee criterion: p99 latency within this factor of the fleet's no-load p99.
+KNEE_FACTOR = 2.0
+
+#: Same-slot-count fleets to compare (12 boards each).
+FLEETS = (
+    ("12x PYNQ-Z2", (BoardGroup("PYNQ-Z2", 12),)),
+    ("12x ZCU104", (BoardGroup("ZCU104", 12),)),
+    ("8x PYNQ-Z2 + 4x ZCU104", (BoardGroup("PYNQ-Z2", 8), BoardGroup("ZCU104", 4))),
+)
+
+
+def study(rates, n_requests: int, cells: int) -> None:
+    rows = []
+    knees = []
+    for label, boards in FLEETS:
+        base = FleetScenario(
+            boards=boards,
+            arrival_rate_hz=rates[0],
+            n_requests=n_requests,
+            cells=cells,
+            admission="none",
+            seed=0,
+        )
+        noload = simulate_fleet(
+            base.replace(arrival="deterministic", arrival_rate_hz=0.1,
+                         n_requests=max(cells, 10)),
+            evaluator=EVALUATOR,
+        ).latency.percentiles[99]
+        knee = None
+        for rate in rates:
+            report = simulate_fleet(
+                base.replace(arrival_rate_hz=rate), evaluator=EVALUATOR
+            )
+            p99 = report.latency.percentiles[99]
+            per_request = report.energy["energy_per_request_J"]
+            rows.append(
+                {
+                    "fleet": label,
+                    "offered_rps": rate,
+                    "delivered_rps": round(report.throughput_rps, 2),
+                    "p99_ms": round(p99 * 1e3, 1),
+                    "energy_per_req_J": round(per_request, 4),
+                }
+            )
+            if p99 <= KNEE_FACTOR * noload:
+                knee = rate
+        knees.append(
+            {
+                "fleet": label,
+                "no_load_p99_ms": round(noload * 1e3, 1),
+                "knee_rps": knee if knee is not None else "< min rate",
+            }
+        )
+    print(format_records(rows, title="p99 latency vs offered load"))
+    print()
+    print(format_records(knees, title=f"Knee (highest rate with p99 <= {KNEE_FACTOR}x no-load)"))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller runs (CI smoke)")
+    args = parser.parse_args()
+
+    if args.quick:
+        rates = (10.0, 40.0)
+        n_requests, cells = 2_000, 2
+    else:
+        rates = (5.0, 10.0, 20.0, 30.0, 40.0, 60.0, 80.0, 120.0)
+        n_requests, cells = 20_000, 4
+
+    study(rates, n_requests, cells)
+
+
+if __name__ == "__main__":
+    main()

@@ -43,6 +43,16 @@ accelerators, dispatch policies) run through the discrete-event simulator:
 >>> report.requests["completed"]
 20
 
+Fleet-scale serving — heterogeneous multi-board clusters behind a
+load-balancer tier with SLO admission, per-class routing and reactive
+autoscaling — runs through :func:`simulate_fleet` (optionally sharded over
+a process pool; the shard count never changes the numbers):
+
+>>> from repro.api import FleetScenario, BoardGroup, simulate_fleet
+>>> fleet = simulate_fleet(FleetScenario(
+...     boards=(BoardGroup("PYNQ-Z2", 8), BoardGroup("ZCU104", 4)),
+...     arrival_rate_hz=100.0, n_requests=1000, cells=4), shards=4)
+
 Everything the CLI, the examples and the benchmarks print is derived from
 these objects; see the package README for the quickstart.
 """
@@ -68,11 +78,17 @@ from .sweep import SweepError, results_to_csv, results_to_json, results_to_recor
 # Scenario/Evaluator from this package's submodules.
 from ..sim import SimReport, SimScenario, simulate
 from ..faults import FmeaStudy, default_fault_domain, make_fault_mode, run_fmea
+from ..fleet import BoardGroup, FleetReport, FleetScenario, TrafficClass, simulate_fleet
 
 __all__ = [
     "SimScenario",
     "simulate",
     "SimReport",
+    "FleetScenario",
+    "FleetReport",
+    "BoardGroup",
+    "TrafficClass",
+    "simulate_fleet",
     "FmeaStudy",
     "run_fmea",
     "default_fault_domain",

@@ -21,6 +21,7 @@ training       projected training cost (future-work analysis)
 eval           full structured report for one scenario
 sweep          design-space grid (variants x depths x MAC units x ...)
 sim            discrete-event serving simulation (arrivals/replicas/policies)
+fleet          multi-board cluster serving (balancer/SLO admission/autoscale)
 timing         timing-closure sweep over MAC-unit counts
 accuracy-sweep accuracy-vs-Q-format-vs-latency frontier of the PL datapath
 ============  ==========================================================
@@ -608,6 +609,134 @@ def _sim_fmea(scenario, args, evaluator: Evaluator, mix) -> CommandOutput:
     else:
         text = study.render()
     return CommandOutput(text, study.as_dict())
+
+
+def _configure_fleet(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--boards", default="pynq-z2:4", metavar="NAME[:COUNT],...",
+        help="fleet inventory, e.g. 'pynq-z2:8,zcu104:4' (case-insensitive names)",
+    )
+    p.add_argument(
+        "--classes", default=None, metavar="NAME[:WEIGHT[:KIND[:SLO]]],...",
+        help="traffic classes, e.g. 'interactive:0.8:latency:50ms,nightly:0.2:batch'",
+    )
+    p.add_argument("--model", choices=MODEL_CHOICES, default="rODENet-3")
+    p.add_argument("--depth", type=int, choices=SUPPORTED_DEPTHS, default=56)
+    p.add_argument("--n-units", type=int, default=16, help="parallel MAC units per replica")
+    p.add_argument(
+        "--arrivals", choices=("poisson", "deterministic"), default="poisson",
+        help="request arrival process",
+    )
+    p.add_argument("--rate", type=float, default=10.0, help="offered arrival rate [req/s]")
+    p.add_argument(
+        "--requests", type=int, default=None,
+        help="number of requests to offer (default: the whole --duration, or "
+        "1000 when neither bounds the run)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=None,
+        help="stop offering arrivals after this much simulated time [s]",
+    )
+    p.add_argument(
+        "--replicas", default="auto",
+        help="PL replicas per board, or 'auto' to size each board from its fabric",
+    )
+    p.add_argument(
+        "--routing", choices=("least_loaded", "round_robin", "weighted"),
+        default="least_loaded", help="balancer routing policy",
+    )
+    p.add_argument(
+        "--admission", choices=("none", "slo"), default="slo",
+        help="admission control: 'slo' rejects latency-class requests whose "
+        "predicted sojourn breaks their SLO",
+    )
+    p.add_argument(
+        "--slo-ms", type=float, default=None,
+        help="default SLO for latency classes without their own [ms]",
+    )
+    p.add_argument(
+        "--autoscale", action="store_true",
+        help="reactive power scaling: boards power up/down on windowed utilisation",
+    )
+    p.add_argument(
+        "--autoscale-interval", type=float, default=60.0,
+        help="autoscale control interval [simulated s]",
+    )
+    p.add_argument(
+        "--cells", type=int, default=1,
+        help="shared-nothing cells the inventory and traffic are dealt into "
+        "(part of the scenario — changes the numbers)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes executing the cells (never changes the numbers)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="PRNG seed")
+    p.add_argument(
+        "--fidelity", choices=("fast", "event"), default="fast",
+        help="'fast' = analytic balancer kernel; 'event' = replay each board's "
+        "assigned trace through the full transaction-level simulator",
+    )
+    p.add_argument(
+        "--exact", action="store_true",
+        help="keep exact per-request latencies (never spill the streaming sketches)",
+    )
+    p.add_argument("--format", choices=("table", "json"), default="table")
+
+
+@command(
+    "fleet",
+    help="multi-board cluster serving behind a balancer (SLO admission, autoscale)",
+    configure=_configure_fleet,
+)
+def _cmd_fleet(args, evaluator: Evaluator) -> CommandOutput:
+    from .fleet import (
+        FleetScenario,
+        parse_board_groups,
+        parse_traffic_classes,
+        simulate_fleet,
+    )
+
+    if args.replicas == "auto":
+        replicas = 0
+    else:
+        try:
+            replicas = int(args.replicas)
+        except ValueError:
+            raise ValueError(
+                f"--replicas must be a non-negative integer or 'auto' (got {args.replicas!r})"
+            )
+    scenario = FleetScenario(
+        boards=parse_board_groups(args.boards),
+        classes=(
+            parse_traffic_classes(args.classes)
+            if args.classes is not None
+            else FleetScenario().classes
+        ),
+        model=args.model,
+        depth=args.depth,
+        n_units=args.n_units,
+        arrival=args.arrivals,
+        arrival_rate_hz=args.rate,
+        n_requests=args.requests,
+        duration_s=args.duration,
+        replicas=replicas,
+        routing=args.routing,
+        admission=args.admission,
+        slo_s=args.slo_ms / 1000.0 if args.slo_ms is not None else None,
+        autoscale=args.autoscale,
+        autoscale_interval_s=args.autoscale_interval,
+        cells=args.cells,
+        seed=args.seed,
+        fidelity=args.fidelity,
+        exact=args.exact,
+    )
+    report = simulate_fleet(scenario, shards=args.shards, evaluator=evaluator)
+    if args.format == "json":
+        text = json.dumps(report.as_dict(), indent=2)
+    else:
+        text = report.render()
+    return CommandOutput(text, report.as_dict())
 
 
 @command("faults", help="the registered fault modes usable with sim --faults")

@@ -1,0 +1,68 @@
+"""Fleet-scale serving: heterogeneous multi-board clusters behind a balancer.
+
+The :mod:`repro.sim` package answers "how does *one* board behave under
+load?"; this package scales the question to the paper's deployment story —
+racks of low-cost FPGA boards serving classed traffic:
+
+* :class:`FleetScenario` — the cluster design point: a
+  :class:`BoardGroup` inventory drawn from the :mod:`repro.platform`
+  registry, weighted :class:`TrafficClass` slices, balancer routing,
+  SLO-aware admission control, reactive autoscaling priced per board from
+  its :class:`~repro.platform.device.PowerProfile`, and shared-nothing
+  ``cells``;
+* :func:`simulate_fleet` — runs the cells (optionally sharded over a
+  process pool — shard count never changes the numbers) and merges their
+  streaming :class:`~repro.sim.metrics.QuantileSketch` distributions and
+  counters into one :class:`FleetReport`.
+
+>>> from repro.fleet import FleetScenario, BoardGroup, simulate_fleet
+>>> report = simulate_fleet(FleetScenario(
+...     boards=(BoardGroup("PYNQ-Z2", 8), BoardGroup("ZCU104", 4)),
+...     arrival_rate_hz=200.0, duration_s=600.0, cells=4,
+... ), shards=4)
+"""
+
+from .autoscale import AutoscaleController, AutoscalePolicy
+from .balancer import BATCH_SPILL_FACTOR, Balancer, BoardServer
+from .cluster import (
+    ADMISSION_NAMES,
+    CLASS_KINDS,
+    FIDELITY_NAMES,
+    ROUTING_NAMES,
+    BoardGroup,
+    FleetScenario,
+    TrafficClass,
+    canonical_board,
+    parse_board_groups,
+    parse_traffic_classes,
+)
+from .report import BoardCell, CellResult, ClassCell, FleetReport, merge_cells
+from .runner import resolve_board_replicas, resolve_slos, run_cell
+from .shard import simulate_fleet
+
+__all__ = [
+    "ADMISSION_NAMES",
+    "BATCH_SPILL_FACTOR",
+    "CLASS_KINDS",
+    "FIDELITY_NAMES",
+    "ROUTING_NAMES",
+    "AutoscaleController",
+    "AutoscalePolicy",
+    "Balancer",
+    "BoardCell",
+    "BoardGroup",
+    "BoardServer",
+    "CellResult",
+    "ClassCell",
+    "FleetReport",
+    "FleetScenario",
+    "TrafficClass",
+    "canonical_board",
+    "merge_cells",
+    "parse_board_groups",
+    "parse_traffic_classes",
+    "resolve_board_replicas",
+    "resolve_slos",
+    "run_cell",
+    "simulate_fleet",
+]

@@ -1,0 +1,414 @@
+"""The per-cell fleet kernel: :func:`run_cell` serves one shared-nothing cell.
+
+One cell = the boards dealt to it from the inventory plus ``1/cells`` of the
+offered traffic, with its own deterministic RNG stream
+(``np.random.default_rng((seed, cell))`` — a pure function of the cell
+index, never of the shard layout).  Two serving fidelities:
+
+* ``fast`` — the single-pass analytic kernel: each request is routed by the
+  :class:`~repro.fleet.balancer.Balancer` and committed to a board slot heap
+  at the board's analytic service time.  One heap operation per request;
+  autoscale ticks interleave between arrivals.  This is what makes
+  million-request day traces take seconds.
+* ``event`` — the routing pass runs identically (the balancer always works
+  on analytic predictions, as a real load balancer would), then each
+  board's assigned arrivals replay through the full transaction-level
+  :func:`repro.sim.simulate` as a trace.  A fleet of one board with no
+  admission is then *exactly* a ``repro.sim`` run — the identity the fleet
+  conformance tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..api.evaluator import Evaluator
+from ..fpga.power import PowerModelConfig, pl_power_kernel
+from ..platform import get_board
+from ..sim.metrics import QuantileSketch
+from ..sim.policies import max_replicas
+from ..sim.workload import arrival_times, build_service_plan
+from .autoscale import AutoscaleController, AutoscalePolicy
+from .balancer import Balancer, BoardServer
+from .cluster import FleetScenario, TrafficClass
+from .report import BoardCell, CellResult, ClassCell
+
+__all__ = ["run_cell", "resolve_slos", "resolve_board_replicas"]
+
+#: Rate-driven fleets with no explicit bound default to this many requests.
+DEFAULT_FLEET_REQUESTS = 1000
+
+#: A latency class with no explicit SLO gets twice its no-load service time
+#: on the fastest board of the fleet (the serving-study knee convention).
+DEFAULT_SLO_FACTOR = 2.0
+
+
+def resolve_board_replicas(
+    scenario: FleetScenario, evaluator: Evaluator
+) -> Dict[str, int]:
+    """Replicas per board *type* (``replicas=0`` packs each board's fabric)."""
+
+    out: Dict[str, int] = {}
+    for group in scenario.boards:
+        if group.board in out:
+            continue
+        if scenario.replicas:
+            out[group.board] = scenario.replicas
+        else:
+            out[group.board] = max_replicas(
+                scenario.design_point(board=group.board), evaluator=evaluator
+            )
+    return out
+
+
+def _service_tables(
+    scenario: FleetScenario, evaluator: Evaluator
+) -> Dict[str, Tuple[List[float], List[float]]]:
+    """Per board type: (service seconds, PS seconds) for every traffic class."""
+
+    out: Dict[str, Tuple[List[float], List[float]]] = {}
+    for group in scenario.boards:
+        if group.board in out:
+            continue
+        svc: List[float] = []
+        ps: List[float] = []
+        for cls in scenario.classes:
+            plan = build_service_plan(
+                scenario.design_point(cls, group.board), evaluator=evaluator
+            )
+            svc.append(plan.total_seconds)
+            ps.append(plan.ps_seconds)
+        out[group.board] = (svc, ps)
+    return out
+
+
+def resolve_slos(
+    scenario: FleetScenario, evaluator: Optional[Evaluator] = None
+) -> Tuple[Optional[float], ...]:
+    """The SLO each class is admitted/accounted against.
+
+    Latency classes fall back to the scenario default, then to
+    ``DEFAULT_SLO_FACTOR`` times the class's no-load service on the fastest
+    board of the fleet.  Batch classes have no implicit SLO.
+    """
+
+    ev = evaluator if evaluator is not None else Evaluator()
+    tables = _service_tables(scenario, ev)
+    resolved: List[Optional[float]] = []
+    for ci, cls in enumerate(scenario.classes):
+        if cls.slo_s is not None:
+            resolved.append(cls.slo_s)
+        elif scenario.slo_s is not None:
+            resolved.append(scenario.slo_s)
+        elif cls.kind == "latency":
+            fastest = min(tables[g.board][0][ci] for g in scenario.boards)
+            resolved.append(DEFAULT_SLO_FACTOR * fastest)
+        else:
+            resolved.append(None)
+    return tuple(resolved)
+
+
+def _cell_arrivals(
+    scenario: FleetScenario, cell: int, rng: np.random.Generator
+) -> np.ndarray:
+    """This cell's share of the offered traffic (1/cells of the stream)."""
+
+    cells = scenario.cells
+    if scenario.arrival == "trace":
+        return np.asarray(scenario.trace, dtype=np.float64)  # cells == 1, validated
+    n_total = scenario.n_requests
+    if n_total is None and scenario.duration_s is None:
+        n_total = DEFAULT_FLEET_REQUESTS
+    n_cell = None
+    if n_total is not None:
+        n_cell = n_total // cells + (1 if cell < n_total % cells else 0)
+        if n_cell == 0:
+            return np.empty(0, dtype=np.float64)
+    times = arrival_times(
+        scenario.arrival,
+        rate_hz=scenario.arrival_rate_hz / cells,
+        n_requests=n_cell,
+        duration_s=scenario.duration_s,
+        rng=rng,
+        trace=None,
+    )
+    return np.asarray(times, dtype=np.float64)
+
+
+def _build_boards(
+    scenario: FleetScenario,
+    cell: int,
+    evaluator: Evaluator,
+    replicas: Dict[str, int],
+    tables: Dict[str, Tuple[List[float], List[float]]],
+) -> List[BoardServer]:
+    boards: List[BoardServer] = []
+    for index, group_index, name in scenario.cell_inventory(cell):
+        spec = get_board(name)
+        cfg = PowerModelConfig.for_board(spec)
+        svc, ps = tables[name]
+        n_rep = replicas[name]
+        # The whole board's PL draw while powered: every instantiated
+        # replica burns static + dynamic watts (its clock never gates) —
+        # the same pricing as repro.sim's energy summary.
+        resources = _replica_resources(scenario, name, evaluator)
+        pl_w = n_rep * float(pl_power_kernel(resources.dsp, resources.bram, cfg))
+        boards.append(
+            BoardServer(
+                index=index,
+                group=group_index,
+                name=name,
+                replicas=n_rep,
+                svc_s=svc,
+                ps_s=ps,
+                pl_w=pl_w,
+                ps_active_w=cfg.ps_active_w,
+                ps_idle_w=cfg.ps_idle_w,
+            )
+        )
+    return boards
+
+
+def _replica_resources(scenario: FleetScenario, board: str, evaluator: Evaluator):
+    """Fabric resources of one replica's datapath (zero when nothing offloads)."""
+
+    from ..fpga.device import ResourceVector
+
+    decision = evaluator.offload_decision(scenario.design_point(board=board))
+    return decision.resources if decision.targets else ResourceVector()
+
+
+def run_cell(
+    scenario: FleetScenario, cell: int, evaluator: Optional[Evaluator] = None
+) -> CellResult:
+    """Serve one cell end to end and return its picklable result."""
+
+    ev = evaluator if evaluator is not None else Evaluator()
+    classes = scenario.classes
+    n_classes = len(classes)
+    replicas = resolve_board_replicas(scenario, ev)
+    tables = _service_tables(scenario, ev)
+    slos = resolve_slos(scenario, ev)
+
+    rng = np.random.default_rng((scenario.seed, cell))
+    arrivals = _cell_arrivals(scenario, cell, rng)
+    n = len(arrivals)
+    if n_classes > 1:
+        weights = np.asarray([c.weight for c in classes], dtype=np.float64)
+        labels = rng.choice(n_classes, size=n, p=weights / weights.sum())
+    else:
+        labels = np.zeros(n, dtype=np.intp)
+    route_u = rng.random(n) if scenario.routing == "weighted" else None
+
+    boards = _build_boards(scenario, cell, ev, replicas, tables)
+    balancer = Balancer(boards, scenario.routing)
+    controller: Optional[AutoscaleController] = None
+    next_tick = np.inf
+    interval = scenario.autoscale_interval_s
+    if scenario.autoscale:
+        controller = AutoscaleController(
+            boards,
+            AutoscalePolicy(
+                interval_s=interval,
+                high=scenario.autoscale_high,
+                low=scenario.autoscale_low,
+                boot_s=scenario.boot_s,
+                min_powered=scenario.min_powered,
+            ),
+        )
+        next_tick = interval
+
+    check_slo = scenario.admission == "slo"
+    exact = scenario.exact
+    cls_latency = [QuantileSketch(exact=exact) for _ in range(n_classes)]
+    cls_wait = [QuantileSketch(exact=exact) for _ in range(n_classes)]
+    offered = [0] * n_classes
+    rejected = [0] * n_classes
+    violations = [0] * n_classes
+    kinds = [c.kind for c in classes]
+    events = 0
+    last_arrival = float(arrivals[-1]) if n else 0.0
+
+    # Event fidelity: the routing pass assigns, the transaction-level
+    # simulator serves.  Collect each board's admitted arrivals here.
+    collect = scenario.fidelity == "event"
+    per_board_trace: Optional[List[List[float]]] = [[] for _ in boards] if collect else None
+    board_pos = {b.index: i for i, b in enumerate(boards)}
+
+    for i in range(n):
+        t = float(arrivals[i])
+        while t >= next_tick:
+            controller.tick(next_tick)
+            next_tick += interval
+            events += 1
+        c = int(labels[i])
+        offered[c] += 1
+        board = balancer.route(t, c, kinds[c], route_u[i] if route_u is not None else None)
+        if board is None:
+            rejected[c] += 1
+            continue
+        if check_slo and kinds[c] == "latency":
+            slo = slos[c]
+            if slo is not None and (board.predicted_start(t) - t) + board.svc_s[c] > slo:
+                rejected[c] += 1
+                continue
+        start, finish = board.assign(t, c)
+        events += 1
+        if collect:
+            per_board_trace[board_pos[board.index]].append(t)
+            continue
+        latency = finish - t
+        cls_latency[c].insert(latency)
+        cls_wait[c].insert(start - t)
+        slo = slos[c]
+        if slo is not None and latency > slo:
+            violations[c] += 1
+
+    if collect:
+        return _event_fidelity_result(
+            scenario, cell, ev, boards, per_board_trace, replicas,
+            offered, rejected, slos, events, last_arrival,
+        )
+
+    horizon = max([last_arrival] + [b.last_finish for b in boards])
+    for b in boards:
+        b.finalize(horizon)
+    completed = [offered[c] - rejected[c] for c in range(n_classes)]
+    return CellResult(
+        cell=cell,
+        offered=sum(offered),
+        rejected=sum(rejected),
+        completed=sum(completed),
+        classes=[
+            ClassCell(
+                name=classes[c].name,
+                kind=kinds[c],
+                offered=offered[c],
+                rejected=rejected[c],
+                completed=completed[c],
+                violations=violations[c],
+                slo_s=slos[c],
+                latency=cls_latency[c],
+                wait=cls_wait[c],
+            )
+            for c in range(n_classes)
+        ],
+        boards=[
+            BoardCell(
+                index=b.index,
+                group=b.group,
+                name=b.name,
+                replicas=b.replicas,
+                served=sum(b.served),
+                busy_seconds=b.busy_seconds,
+                powered_seconds=b.powered_seconds,
+                energy=b.energy_j(),
+                utilization=b.utilization(),
+                powered_final=b.powered,
+            )
+            for b in boards
+        ],
+        horizon_s=horizon,
+        events=events,
+        autoscale=controller.summary() if controller is not None else None,
+    )
+
+
+def _event_fidelity_result(
+    scenario: FleetScenario,
+    cell: int,
+    ev: Evaluator,
+    boards: List[BoardServer],
+    per_board_trace: List[List[float]],
+    replicas: Dict[str, int],
+    offered: List[int],
+    rejected: List[int],
+    slos: Tuple[Optional[float], ...],
+    events: int,
+    last_arrival: float,
+) -> CellResult:
+    """Replay each board's admitted arrivals through ``repro.sim.simulate``."""
+
+    from ..sim.runner import simulate  # deferred: repro.sim is the heavy path
+
+    cls = scenario.classes[0]  # event fidelity is single-class (validated)
+    slo = slos[0]
+    latency = QuantileSketch(exact=scenario.exact)
+    wait = QuantileSketch(exact=scenario.exact)
+    violations = 0
+    completed = 0
+    horizon = last_arrival
+    board_cells: List[BoardCell] = []
+    board_reports: List[Dict[str, object]] = []
+    for b, trace in zip(boards, per_board_trace):
+        if not trace:
+            b.finalize(0.0)
+            board_cells.append(
+                BoardCell(
+                    index=b.index, group=b.group, name=b.name, replicas=b.replicas,
+                    served=0, busy_seconds=0.0, powered_seconds=0.0,
+                    energy={"ps_energy_J": 0.0, "pl_energy_J": 0.0, "total_energy_J": 0.0},
+                    utilization=float("nan"), powered_final=True,
+                )
+            )
+            continue
+        sim_scenario = scenario.board_sim_scenario(
+            b.name, trace, replicas[b.name], slo_s=slo
+        )
+        report = simulate(sim_scenario, evaluator=ev)
+        latency.merge(report.latency_sketch)
+        wait.merge(report.wait_sketch)
+        completed += report.requests["completed"]
+        if report.slo is not None:
+            violations += int(report.slo["violations"])
+        horizon = max(horizon, float(report.horizon_s))
+        events += report.events_processed
+        board_cells.append(
+            BoardCell(
+                index=b.index,
+                group=b.group,
+                name=b.name,
+                replicas=int(report.scenario["replicas"]),
+                served=report.requests["completed"],
+                busy_seconds=float(report.utilization["accelerator_mean"])
+                * int(report.scenario["replicas"])
+                * float(report.horizon_s),
+                powered_seconds=float(report.horizon_s),
+                energy={
+                    "ps_energy_J": report.energy["ps_energy_J"],
+                    "pl_energy_J": report.energy["pl_energy_J"],
+                    "total_energy_J": report.energy["total_energy_J"],
+                },
+                utilization=float(report.utilization["accelerator_mean"]),
+                powered_final=True,
+            )
+        )
+        board_reports.append(report.as_dict())
+    total_offered = sum(offered)
+    total_rejected = sum(rejected)
+    return CellResult(
+        cell=cell,
+        offered=total_offered,
+        rejected=total_rejected,
+        completed=completed,
+        classes=[
+            ClassCell(
+                name=cls.name,
+                kind=cls.kind,
+                offered=total_offered,
+                rejected=total_rejected,
+                completed=completed,
+                violations=violations,
+                slo_s=slo,
+                latency=latency,
+                wait=wait,
+            )
+        ],
+        boards=board_cells,
+        horizon_s=horizon,
+        events=events,
+        autoscale=None,
+        board_reports=board_reports,
+    )

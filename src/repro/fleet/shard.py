@@ -1,0 +1,69 @@
+"""Shared-nothing sharding: :func:`simulate_fleet` fans cells over processes.
+
+Cells are *scenario* knobs — they change which boards serve which requests.
+Shards are *execution* knobs — how many worker processes run those cells.
+Every cell seeds its own ``np.random.default_rng((seed, cell))`` stream and
+returns a picklable :class:`~repro.fleet.report.CellResult`;
+:func:`~repro.fleet.report.merge_cells` folds them in ascending cell order,
+so the merged report is bit-identical for any ``shards`` value (the shard
+conformance tests pin this).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..api.evaluator import Evaluator
+from .cluster import FleetScenario
+from .report import FleetReport, merge_cells
+from .runner import run_cell
+
+__all__ = ["simulate_fleet"]
+
+
+def _run_cell_worker(payload) -> "CellResult":  # noqa: F821 - doc only
+    """Module-level worker (picklable by ProcessPoolExecutor)."""
+
+    scenario_dict, cell = payload
+    scenario = FleetScenario.from_dict(scenario_dict)
+    return run_cell(scenario, cell)
+
+
+def simulate_fleet(
+    scenario: Optional[FleetScenario] = None,
+    shards: int = 1,
+    evaluator: Optional[Evaluator] = None,
+    **overrides: object,
+) -> FleetReport:
+    """Simulate a multi-board fleet and return the merged :class:`FleetReport`.
+
+    ``shards`` caps the worker processes used to execute the scenario's
+    cells; it never changes the numbers.  With ``shards <= 1`` (or a
+    single-cell scenario) everything runs inline, sharing one memoised
+    :class:`~repro.api.evaluator.Evaluator` across cells.  Keyword
+    overrides build/adjust the scenario, mirroring :func:`repro.api.simulate`::
+
+        simulate_fleet(boards=(BoardGroup("PYNQ-Z2", 8),), arrival_rate_hz=200.0)
+    """
+
+    if scenario is None:
+        scenario = FleetScenario(**overrides)
+    elif overrides:
+        scenario = scenario.replace(**overrides)
+    if not isinstance(shards, int) or shards < 1:
+        raise ValueError(f"shards must be a positive integer (got {shards!r})")
+
+    cells = scenario.cells
+    n_workers = min(shards, cells)
+    if n_workers <= 1:
+        ev = evaluator if evaluator is not None else Evaluator()
+        results = [run_cell(scenario, cell, evaluator=ev) for cell in range(cells)]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        scenario_dict = scenario.as_dict()
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            results = list(
+                pool.map(_run_cell_worker, [(scenario_dict, cell) for cell in range(cells)])
+            )
+    return merge_cells(scenario.as_dict(), results, shards, scenario.exact)

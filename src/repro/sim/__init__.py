@@ -23,6 +23,7 @@ or via the CLI: ``repro-odenet sim rODENet-3 --arrivals poisson --rate 2
 from .engine import Event, Process, Simulator, Timeout
 from .metrics import (
     LatencyStats,
+    QuantileSketch,
     SimReport,
     energy_summary,
     latency_stats,
@@ -84,6 +85,7 @@ __all__ = [
     "simulate",
     "SimReport",
     "LatencyStats",
+    "QuantileSketch",
     "latency_stats",
     "energy_summary",
     "slo_summary",

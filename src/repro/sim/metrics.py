@@ -16,6 +16,7 @@ time-weighted occupancy integrals — and this module condenses it into the
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -26,6 +27,7 @@ from ..fpga.power import PowerModelConfig, pl_power_kernel
 
 __all__ = [
     "LatencyStats",
+    "QuantileSketch",
     "SimReport",
     "latency_stats",
     "energy_summary",
@@ -94,6 +96,277 @@ def latency_stats(samples: Sequence[float], qs: Sequence[int] = PERCENTILES) -> 
         maximum=float(arr.max()),
         percentiles={int(q): float(v) for q, v in zip(qs, pct)},
     )
+
+
+#: Default guaranteed relative error of a spilled sketch (0.5 %, well inside
+#: the 1 % conformance bar pinned by ``tests/sim/test_sketch.py``).
+DEFAULT_RELATIVE_ERROR = 0.005
+
+#: Samples buffered exactly before a sketch spills to log-spaced bins.
+DEFAULT_EXACT_THRESHOLD = 4096
+
+
+class QuantileSketch:
+    """A mergeable streaming quantile sketch with bounded memory.
+
+    The P²-style estimator the fleet simulator needs: day-length traces at
+    millions of requests cannot store every latency, so the sketch keeps
+    log-spaced bins (DDSketch-style) once the stream outgrows a small exact
+    buffer.  Three properties make it safe to put on the nominal path:
+
+    * **Exact until it matters.**  The first ``exact_threshold`` samples are
+      buffered verbatim and quantiles delegate to :func:`latency_stats`
+      (``np.percentile``) — small runs, i.e. every existing test and every
+      interactive ``sim`` invocation, are *bit-identical* to the stored-array
+      path.  ``exact=True`` pins this mode forever (the escape hatch).
+    * **Guaranteed error when spilled.**  Bins grow geometrically by
+      ``gamma = (1 + relative_error)**2`` and report their geometric
+      midpoint, so every sample's representative is within a factor
+      ``sqrt(gamma) = 1 + relative_error`` of its true value.  Quantiles
+      replicate ``np.percentile``'s linear interpolation over the binned
+      order statistics: with rank ``r = q/100 * (n - 1)``, the estimate
+      interpolates the representatives of order statistics ``floor(r)`` and
+      ``ceil(r)`` — a convex combination of two values each within
+      ``relative_error`` of the truth stays within ``relative_error`` of the
+      interpolated truth (all samples are non-negative).
+    * **Merge-order invariance.**  Merging adds integer bin counts
+      (commutative and associative) or concatenates exact buffers, so shard
+      sketches merged in any order yield identical quantiles — the property
+      the shared-nothing fleet shards rely on.
+
+    Memory is O(``exact_threshold`` + bins actually touched); a spilled
+    sketch covering twelve decades of seconds uses ~2800 bins.
+    """
+
+    __slots__ = (
+        "relative_error",
+        "exact_threshold",
+        "min_positive",
+        "count",
+        "_sum",
+        "_min",
+        "_max",
+        "_samples",
+        "_bins",
+        "_log_gamma",
+        "_log_min",
+    )
+
+    def __init__(
+        self,
+        relative_error: float = DEFAULT_RELATIVE_ERROR,
+        exact_threshold: Optional[int] = DEFAULT_EXACT_THRESHOLD,
+        exact: bool = False,
+        min_positive: float = 1e-12,
+    ) -> None:
+        if not 0.0 < relative_error < 1.0:
+            raise ValueError(f"relative_error must be in (0, 1) (got {relative_error})")
+        if min_positive <= 0.0:
+            raise ValueError(f"min_positive must be positive (got {min_positive})")
+        if exact:
+            exact_threshold = None  # never spill
+        elif exact_threshold is not None and exact_threshold < 0:
+            raise ValueError("exact_threshold must be non-negative (or None for never-spill)")
+        self.relative_error = float(relative_error)
+        self.exact_threshold = exact_threshold
+        self.min_positive = float(min_positive)
+        self.count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._samples: Optional[List[float]] = []
+        self._bins: Optional[Dict[int, int]] = None
+        gamma = (1.0 + self.relative_error) ** 2
+        self._log_gamma = math.log(gamma)
+        self._log_min = math.log(self.min_positive)
+        if exact_threshold == 0:
+            self._spill()
+
+    # -- ingest ------------------------------------------------------------------------
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether quantiles still come from the verbatim sample buffer."""
+
+        return self._samples is not None
+
+    @property
+    def samples(self) -> Optional[Tuple[float, ...]]:
+        """The exact buffer (``None`` once spilled) — the reference oracle."""
+
+        return tuple(self._samples) if self._samples is not None else None
+
+    @property
+    def bins_used(self) -> int:
+        return len(self._bins) if self._bins is not None else 0
+
+    def insert(self, value: float) -> None:
+        v = float(value)
+        if not (v >= 0.0) or math.isinf(v):  # rejects NaN, negatives and inf
+            raise ValueError(f"sketch values must be finite and non-negative (got {value!r})")
+        self.count += 1
+        self._sum += v
+        if v < self._min:
+            self._min = v
+        if v > self._max:
+            self._max = v
+        if self._samples is not None:
+            self._samples.append(v)
+            if self.exact_threshold is not None and len(self._samples) > self.exact_threshold:
+                self._spill()
+        else:
+            key = self._key(v)
+            self._bins[key] = self._bins.get(key, 0) + 1
+
+    def extend(self, values: Sequence[float]) -> None:
+        for v in values:
+            self.insert(v)
+
+    # -- binning -----------------------------------------------------------------------
+
+    def _key(self, v: float) -> int:
+        """Bin index: 0 collects values below ``min_positive`` (reported as 0)."""
+
+        if v < self.min_positive:
+            return 0
+        return max(1, int((math.log(v) - self._log_min) / self._log_gamma) + 1)
+
+    def _representative(self, key: int) -> float:
+        if key == 0:
+            return 0.0
+        # Geometric midpoint of [min_positive * gamma^(k-1), * gamma^k),
+        # computed in log space so huge keys cannot overflow.
+        return math.exp(self._log_min + (key - 0.5) * self._log_gamma)
+
+    def _spill(self) -> None:
+        bins: Dict[int, int] = {}
+        for v in self._samples or ():
+            key = self._key(v)
+            bins[key] = bins.get(key, 0) + 1
+        self._samples = None
+        self._bins = bins
+
+    # -- merge -------------------------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch (``other`` is left untouched).
+
+        Spilled ⊕ anything is spilled; two exact sketches stay exact unless
+        the combined buffer exceeds this sketch's threshold.  Bin counts are
+        integers, so the merged quantiles are identical for any merge order.
+        """
+
+        if (other.relative_error, other.min_positive) != (self.relative_error, self.min_positive):
+            raise ValueError(
+                "cannot merge sketches with different resolutions "
+                f"(relative_error {self.relative_error} vs {other.relative_error}, "
+                f"min_positive {self.min_positive} vs {other.min_positive})"
+            )
+        self.count += other.count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        other_samples = other._samples
+        if self._samples is not None and other_samples is not None:
+            self._samples.extend(other_samples)
+            if self.exact_threshold is not None and len(self._samples) > self.exact_threshold:
+                self._spill()
+            return self
+        if self._samples is not None:
+            self._spill()
+        if other_samples is not None:
+            for v in other_samples:
+                key = self._key(v)
+                self._bins[key] = self._bins.get(key, 0) + 1
+        else:
+            for key, n in other._bins.items():
+                self._bins[key] = self._bins.get(key, 0) + n
+        return self
+
+    # -- quantiles ---------------------------------------------------------------------
+
+    def percentile(self, q: float) -> float:
+        return self.percentiles([q])[0]
+
+    def percentiles(self, qs: Sequence[float]) -> List[float]:
+        """Estimates of ``np.percentile(values, qs)`` (NaN when empty)."""
+
+        if self.count == 0:
+            return [float("nan")] * len(qs)
+        if self._samples is not None:
+            arr = np.asarray(self._samples, dtype=np.float64)
+            return [float(v) for v in np.percentile(arr, list(qs))]
+        if self._min == self._max:
+            return [self._min] * len(qs)
+        n = self.count
+        ranks: List[Tuple[int, float]] = []
+        wanted: List[int] = []
+        for q in qs:
+            if not 0.0 <= q <= 100.0:
+                raise ValueError(f"percentile must be in [0, 100] (got {q})")
+            r = (q / 100.0) * (n - 1)
+            lo, hi = int(math.floor(r)), int(math.ceil(r))
+            ranks.append((lo, r - lo))
+            wanted.extend((lo, hi))
+        order_stats = self._order_statistics(sorted(set(wanted)))
+        out: List[float] = []
+        for lo, frac in ranks:
+            a = order_stats[lo]
+            b = order_stats[lo + 1] if frac else a
+            est = a + frac * (b - a)
+            # Clamping to the tracked extremes only moves the estimate
+            # toward the truth (every true order statistic lies in
+            # [min, max]) and makes p0/p100 exact.
+            out.append(min(max(est, self._min), self._max))
+        return out
+
+    def _order_statistics(self, indices: Sequence[int]) -> Dict[int, float]:
+        """Representatives of the given 0-based order statistics (one bin walk)."""
+
+        out: Dict[int, float] = {}
+        it = iter(indices)
+        target = next(it, None)
+        seen = 0
+        for key in sorted(self._bins):
+            seen += self._bins[key]
+            while target is not None and target < seen:
+                out[target] = self._representative(key)
+                target = next(it, None)
+            if target is None:
+                break
+        # The extremes are tracked exactly; substituting them makes p0 and
+        # p100 error-free (and tightens every interpolation touching them).
+        if 0 in out:
+            out[0] = self._min
+        if self.count - 1 in out:
+            out[self.count - 1] = self._max
+        return out
+
+    # -- summary -----------------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.count if self.count else float("nan")
+
+    def stats(self, qs: Sequence[int] = PERCENTILES) -> LatencyStats:
+        """The :class:`LatencyStats` view of the stream.
+
+        On the exact path this delegates to :func:`latency_stats` over the
+        verbatim buffer — bit-identical to the stored-array code it replaces.
+        """
+
+        if self.count == 0:
+            return latency_stats([], qs)
+        if self._samples is not None:
+            return latency_stats(self._samples, qs)
+        pct = self.percentiles(list(qs))
+        return LatencyStats(
+            count=self.count,
+            mean=self.mean,
+            minimum=self._min,
+            maximum=self._max,
+            percentiles={int(q): v for q, v in zip(qs, pct)},
+        )
 
 
 def energy_summary(
@@ -196,6 +469,11 @@ class SimReport:
     faults: Optional[Dict[str, object]] = None
     #: Human-readable caveat, e.g. when warm-up trimming left nothing measured.
     note: Optional[str] = None
+    #: The streaming sketches behind ``latency``/``wait`` — carried so the
+    #: fleet layer can merge per-board distributions without re-simulating.
+    #: Excluded from serialisation and from report equality.
+    latency_sketch: Optional[QuantileSketch] = field(default=None, repr=False, compare=False)
+    wait_sketch: Optional[QuantileSketch] = field(default=None, repr=False, compare=False)
 
     # -- serialisation -----------------------------------------------------------------
 

@@ -35,7 +35,13 @@ from ..fixedpoint.qformat import QFormat
 from ..fpga.device import ResourceVector
 from ..fpga.power import PowerModelConfig
 from .engine import Simulator
-from .metrics import SimReport, energy_summary, latency_stats, slo_summary, windowed_mean
+from .metrics import (
+    QuantileSketch,
+    SimReport,
+    energy_summary,
+    slo_summary,
+    windowed_mean,
+)
 from .policies import Dispatcher, Execution, make_policy, max_replicas
 from .resources import Accelerator, AxiBus, Resource
 from .scenario import SimScenario
@@ -94,10 +100,13 @@ def _request_process(
     dispatcher: Dispatcher,
     completed: List[Request],
 ) -> Generator:
-    """One request's life: arrive, walk the plan, record completion."""
+    """One request's life: walk the plan, record completion.
 
-    if request.arrival > 0:
-        yield sim.timeout(request.arrival)
+    The process is spawned *at* the request's arrival instant
+    (:meth:`Simulator.process_batch`), so no leading arrival timeout is
+    needed — one queue entry per request instead of three.
+    """
+
     for segment in plan.segments:
         if isinstance(segment, PsSegment):
             asked = sim.now
@@ -301,8 +310,7 @@ def simulate(
     warmup = sim_scenario.warmup_s
     marks: Dict[str, float] = {}
 
-    def _warmup_probe() -> Generator:
-        yield sim.timeout(warmup)
+    def _warmup_probe() -> None:
         marks["ps"] = ps.busy.reading()
         marks["bus"] = bus.busy.reading()
         marks["queue"] = dispatcher.pending.reading()
@@ -315,19 +323,27 @@ def simulate(
         marks["batches"] = len(dispatcher.batch_sizes)
 
     if warmup > 0.0:
-        sim.process(_warmup_probe())
+        # A timed callback, registered before the requests: on a tie with an
+        # arrival at exactly ``warmup`` the probe still snapshots first.
+        sim.schedule(warmup, _warmup_probe)
 
     completed: List[Request] = []
     requests = [
         Request(index=i, arrival=t, scenario=point)
         for i, (t, point) in enumerate(zip(arrivals, per_request))
     ]
-    for request in requests:
-        sim.process(
+    # Event batching: every request process is scheduled directly at its
+    # arrival instant with one bulk heap rebuild (no per-request start event
+    # or leading arrival timeout).
+    sim.process_batch(
+        (
+            request.arrival,
             _request_process(
                 sim, request, plans[request.scenario], ps, dispatcher, completed
-            )
+            ),
         )
+        for request in requests
+    )
     sim.run()
 
     # -- summary ----------------------------------------------------------------------
@@ -360,8 +376,14 @@ def simulate(
     window_start = min(warmup, horizon)
     window = horizon - window_start
     measured = [r for r in completed if r.arrival >= window_start]
-    latencies = [r.latency for r in measured]
-    waits = [r.total_wait for r in measured]
+    # Streaming percentile sketches on the nominal path: bounded memory on
+    # big runs, bit-identical to the stored-array np.percentile path while
+    # the exact buffer holds (always, with ``exact=True``).
+    latency_sketch = QuantileSketch(exact=sim_scenario.exact)
+    wait_sketch = QuantileSketch(exact=sim_scenario.exact)
+    for r in measured:
+        latency_sketch.insert(r.latency)
+        wait_sketch.insert(r.total_wait)
     batch_sizes: Dict[str, float] = {}
     measured_batches = dispatcher.batch_sizes[int(marks.get("batches", 0)) :]
     if measured_batches:
@@ -413,8 +435,8 @@ def simulate(
         horizon_s=horizon,
         throughput_rps=len(measured) / window if window > 0 else float("nan"),
         service_s=plans[design].total_seconds,
-        latency=latency_stats(latencies),
-        wait=latency_stats(waits),
+        latency=latency_sketch.stats(),
+        wait=wait_sketch.stats(),
         utilization={
             # Mid-run capacity faults (PS-core loss) mutate ps.capacity; the
             # report normalises by the *provisioned* counts throughout.
@@ -443,6 +465,8 @@ def simulate(
         slo=slo,
         faults=faults_dict,
         note=note,
+        latency_sketch=latency_sketch,
+        wait_sketch=wait_sketch,
     )
 
 

@@ -73,6 +73,12 @@ class SimScenario(Scenario):
     #: it.  The FMEA tabulator defaults a missing SLO to twice the no-load
     #: service time (the knee convention of ``examples/serving_study.py``).
     slo_s: Optional[float] = None
+    #: Keep every per-request latency verbatim (``np.percentile`` over the
+    #: full array) instead of letting the streaming
+    #: :class:`~repro.sim.metrics.QuantileSketch` spill to bounded-memory
+    #: bins on runs beyond its exact buffer.  Small runs are bit-identical
+    #: either way; this is the escape hatch for big runs that must be.
+    exact: bool = False
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -110,6 +116,8 @@ class SimScenario(Scenario):
             raise ValueError("warmup_s must be non-negative")
         if self.slo_s is not None and self.slo_s <= 0:
             raise ValueError("slo_s must be positive (or None)")
+        if not isinstance(self.exact, bool):
+            raise ValueError("exact must be a boolean")
 
     # -- views -------------------------------------------------------------------------
 
@@ -138,6 +146,7 @@ class SimScenario(Scenario):
                 "dma_channels": self.dma_channels,
                 "warmup_s": self.warmup_s,
                 "slo_s": self.slo_s,
+                "exact": self.exact,
             }
         )
         return out

@@ -169,6 +169,85 @@ class TestProcesses:
         assert done.processed and done.value == []
 
 
+def _noop():
+    return None
+    yield  # pragma: no cover — makes this a (never-waiting) generator
+
+
+class TestDelayedProcesses:
+    """`process_at` / `process_batch`: the arrival fast path."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(delays)
+    def test_process_batch_equals_one_by_one_spawning(self, ds):
+        def spawn(sim, out, batch):
+            def job(i):
+                out.append((sim.now, i))
+                return i
+                yield  # pragma: no cover — a generator with no waits
+
+            pairs = [(d, job(i)) for i, d in enumerate(ds)]
+            if batch:
+                sim.process_batch(pairs)
+            else:
+                for d, gen in pairs:
+                    sim.process_at(d, gen)
+            sim.run()
+            return out
+
+        solo = spawn(Simulator(), [], batch=False)
+        batched = spawn(Simulator(), [], batch=True)
+        # Identical firing instants *and* identical FIFO tie-breaking.
+        assert batched == solo
+        assert [t for t, _ in solo] == sorted(t for t, _ in solo)
+
+    def test_process_at_matches_a_leading_timeout(self):
+        sim = Simulator()
+        trace = []
+
+        def job():
+            trace.append(sim.now)
+            yield sim.timeout(2.0)
+            trace.append(sim.now)
+            return "ok"
+
+        p = sim.process_at(3.0, job())
+        sim.run()
+        assert trace == [3.0, 5.0]
+        assert p.processed and p.value == "ok"
+
+    def test_process_at_is_cheaper_than_a_timeout_chain(self):
+        # Delayed start + completion: 2 events.  The equivalent
+        # `yield timeout(d)` process costs 3 (start, timeout, completion) —
+        # the saving that makes million-request arrival scheduling cheap.
+        fast = Simulator()
+        fast.process_at(1.0, _noop())
+        fast.run()
+        assert fast.events_processed == 2
+
+        def waits(sim):
+            yield sim.timeout(1.0)
+
+        slow = Simulator()
+        slow.process(waits(slow))
+        slow.run()
+        assert slow.events_processed == 3
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Simulator().process_at(-0.5, _noop())
+
+    def test_batch_interleaves_with_existing_events(self):
+        sim = Simulator()
+        order = []
+        sim.timeout(1.0).add_callback(lambda _v: order.append("timeout"))
+        sim.process_batch([(1.0, _noop())])
+        sim.schedule(1.0, lambda: order.append("late"))
+        sim.run()
+        assert order == ["timeout", "late"]
+        assert sim.now == 1.0
+
+
 class TestSchedule:
     def test_schedule_fires_a_callback_after_the_delay(self):
         sim = Simulator()

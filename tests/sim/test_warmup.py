@@ -114,6 +114,39 @@ class TestWarmupTrimming:
         assert report.latency.mean == pytest.approx(analytic, rel=1e-9)
 
 
+class TestSketchRouting:
+    """The nominal latency path now flows through the streaming sketch."""
+
+    def test_report_carries_exact_sketches_on_small_runs(self):
+        ev = Evaluator()
+        report = simulate(poisson_scenario(), evaluator=ev)
+        assert report.latency_sketch is not None and report.latency_sketch.is_exact
+        assert report.latency_sketch.stats() == report.latency
+        assert report.wait_sketch is not None
+        assert report.wait_sketch.stats() == report.wait
+
+    def test_exact_scenario_is_identical_and_never_spills(self):
+        ev = Evaluator()
+        default = simulate(poisson_scenario(), evaluator=ev)
+        pinned = simulate(poisson_scenario(exact=True), evaluator=ev)
+        assert pinned.latency == default.latency
+        assert pinned.wait == default.wait
+        assert pinned.latency_sketch.exact_threshold is None
+
+    def test_empty_window_keeps_nan_note_and_json_null(self):
+        # Regression: PR 6's NaN-not-zero empty-window semantics survive the
+        # sketch routing — the [note] line renders and JSON carries null.
+        ev = Evaluator()
+        full = simulate(poisson_scenario(), evaluator=ev)
+        report = simulate(
+            poisson_scenario(warmup_s=float(full.horizon_s) + 50.0), evaluator=ev
+        )
+        assert report.latency_sketch.count == 0
+        assert np.isnan(report.latency.mean)
+        assert report.as_dict()["latency"]["mean_s"] is None
+        assert report.note is not None and "[note]" in report.render()
+
+
 class TestPerBoardServing:
     def test_auto_replicas_follow_the_board_budget(self):
         ev = Evaluator()
