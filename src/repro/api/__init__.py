@@ -53,6 +53,18 @@ a process pool; the shard count never changes the numbers):
 ...     boards=(BoardGroup("PYNQ-Z2", 8), BoardGroup("ZCU104", 4)),
 ...     arrival_rate_hz=100.0, n_requests=1000, cells=4), shards=4)
 
+Constrained design-space *search* — "cheapest candidate meeting these
+bounds" without evaluating the whole grid — runs through :func:`optimize`
+over a declarative :class:`SearchSpace` (analytic screening plus
+successive-halving simulation refinement, full provenance trace):
+
+>>> from repro.api import SearchSpace, optimize
+>>> report = optimize(
+...     SearchSpace(axes={"board": ("PYNQ-Z2", "ZCU104"), "n_units": (16, 32)}),
+...     objective="board_price_usd", constraints=("meets_timing==1",))
+>>> report.best["values"]["board"]
+'PYNQ-Z2'
+
 Everything the CLI, the examples and the benchmarks print is derived from
 these objects; see the package README for the quickstart.
 """
@@ -79,8 +91,14 @@ from .sweep import SweepError, results_to_csv, results_to_json, results_to_recor
 from ..sim import SimReport, SimScenario, simulate
 from ..faults import FmeaStudy, default_fault_domain, make_fault_mode, run_fmea
 from ..fleet import BoardGroup, FleetReport, FleetScenario, TrafficClass, simulate_fleet
+from ..opt import Constraint, Objective, OptReport, SearchSpace, optimize
 
 __all__ = [
+    "SearchSpace",
+    "optimize",
+    "OptReport",
+    "Constraint",
+    "Objective",
     "SimScenario",
     "simulate",
     "SimReport",

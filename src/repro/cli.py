@@ -197,6 +197,7 @@ def _cmd_boards(args, evaluator: Evaluator) -> CommandOutput:
                 "pl_mhz": round(b.pl_clock_mhz, 1),
                 "ps_active_w": b.power.ps_active_w,
                 "pl_static_w": b.power.pl_static_w,
+                "price_usd": b.price_usd,
             }
         )
     text = format_records(records, title=f"Registered boards ({len(records)})")
@@ -761,6 +762,135 @@ def _cmd_faults(args, evaluator: Evaluator) -> CommandOutput:
         title="Fault-mode registry (spec syntax: KIND[:RATE[:PARAM]])",
     )
     return CommandOutput(text, records)
+
+
+def _configure_optimize(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--objective", default=None, metavar="[min:|max:]METRIC",
+        help="metric to optimize (required), e.g. 'board_price_usd', "
+        "'min:p99_ms', 'max:throughput_rps'",
+    )
+    p.add_argument(
+        "--constraint", action="append", default=[], metavar="METRIC_OP_VALUE",
+        help="bound every acceptable candidate must meet, e.g. 'p99_ms<=5' "
+        "(repeatable)",
+    )
+    p.add_argument(
+        "--fidelity", choices=("analytic", "sim", "fleet", "faults"), default="analytic",
+        help="what one evaluation is: the analytic batch row, a simulate() run, "
+        "a simulate_fleet() run of --count boards, or a run_fmea() study",
+    )
+    p.add_argument(
+        "--budget", type=float, default=None,
+        help="evaluation budget in full-evaluation units "
+        "(default: 20%% of the exhaustive grid)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="run seed (bit-identical reruns)")
+    # search axes (an axis flag with several values becomes a searched axis)
+    p.add_argument("--models", nargs="*", default=None, choices=MODEL_CHOICES)
+    p.add_argument("--depths", nargs="*", type=int, default=None, choices=SUPPORTED_DEPTHS)
+    p.add_argument("--n-units", nargs="*", type=int, default=None)
+    p.add_argument("--qformats", nargs="*", default=None, metavar="WL:FB")
+    p.add_argument("--solvers", nargs="*", default=None, choices=available_methods())
+    p.add_argument(
+        "--boards", nargs="*", default=None,
+        help="boards to search over (default: every registered board)",
+    )
+    p.add_argument(
+        "--replicas", nargs="*", type=int, default=None,
+        help="PL replica counts to search over (serving fidelities)",
+    )
+    p.add_argument("--policies", nargs="*", default=None, help="dispatch policies to search over")
+    p.add_argument("--batch-sizes", nargs="*", type=int, default=None)
+    # fixed serving knobs (identical for every candidate)
+    p.add_argument(
+        "--arrivals", choices=("poisson", "deterministic"), default=None,
+        help="arrival process for sim/fleet/faults evaluations",
+    )
+    p.add_argument("--rate", type=float, default=None, help="offered arrival rate [req/s]")
+    p.add_argument("--requests", type=int, default=None, help="requests per full-length run")
+    p.add_argument("--duration", type=float, default=None, help="full-length run horizon [s]")
+    p.add_argument("--slo-ms", type=float, default=None, help="latency SLO [ms]")
+    p.add_argument(
+        "--count", type=int, default=None,
+        help="boards per candidate at --fidelity fleet",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width for stage-2 evaluations (never changes the numbers)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache for the screening sweep",
+    )
+    p.add_argument("--format", choices=("table", "json", "csv"), default="table")
+
+
+@command(
+    "optimize",
+    help="constrained design-space search (screen + successive halving), not a sweep",
+    configure=_configure_optimize,
+)
+def _cmd_optimize(args, evaluator: Evaluator) -> CommandOutput:
+    from .opt import SearchSpace, optimize
+
+    if args.objective is None:
+        raise ValueError("optimize needs --objective (e.g. --objective min:p99_ms)")
+    axes: Dict[str, object] = {}
+    if args.models:
+        axes["model"] = args.models
+    if args.depths:
+        axes["depth"] = args.depths
+    if args.n_units:
+        axes["n_units"] = args.n_units
+    if args.qformats:
+        axes["qformat"] = _parse_formats(args.qformats, flag="--qformats")
+    if args.solvers:
+        axes["solver"] = args.solvers
+    if args.boards is not None:
+        axes["board"] = _parse_board_names(args.boards, "--boards")
+    else:
+        axes["board"] = list(BOARDS)
+    if args.replicas:
+        axes["replicas"] = args.replicas
+    if args.policies:
+        axes["policy"] = args.policies
+    if args.batch_sizes:
+        axes["batch_size"] = args.batch_sizes
+
+    fixed: Dict[str, object] = {}
+    if args.arrivals is not None:
+        fixed["arrival"] = args.arrivals
+    if args.rate is not None:
+        fixed["arrival_rate_hz"] = args.rate
+    if args.requests is not None:
+        fixed["n_requests"] = args.requests
+    if args.duration is not None:
+        fixed["duration_s"] = args.duration
+    if args.slo_ms is not None:
+        fixed["slo_s"] = args.slo_ms / 1000.0
+    if args.count is not None:
+        fixed["count"] = args.count
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
+    report = optimize(
+        SearchSpace(axes=axes, fixed=fixed),
+        objective=args.objective,
+        constraints=args.constraint,
+        fidelity=args.fidelity,
+        budget=args.budget,
+        seed=args.seed,
+        cache=cache,
+        workers=args.workers,
+        evaluator=evaluator,
+    )
+    if args.format == "json":
+        text = report.to_json()
+    elif args.format == "csv":
+        text = report.to_csv()
+    else:
+        text = report.render()
+    return CommandOutput(text, report.as_dict())
 
 
 def _sim_board_comparison(scenario, boards: List[str], args, evaluator: Evaluator) -> CommandOutput:

@@ -1,0 +1,49 @@
+"""repro.opt — constrained design-space optimization: search, not sweep.
+
+The sweep machinery answers "what does every point look like?"; this package
+answers "which point should I build?" without paying for the whole grid.  A
+declarative :class:`SearchSpace` enumerates candidates, stage 1 screens all
+of them on the vectorized batch engine (structural and latency-lower-bound
+violations are pruned for free), and stage 2 refines the survivors with
+short, seeded simulation runs — successive halving plus a local neighborhood
+walk — under an explicit budget in full-evaluation units.  The result is an
+:class:`OptReport` carrying the constrained optimum *and* the full
+provenance trace: every candidate, the stage it reached, and why it was
+pruned.  Surfaced as :func:`repro.api.optimize` and the ``optimize`` CLI
+subcommand.
+"""
+
+from .constraints import Constraint, Objective, parse_constraint, parse_objective
+from .refine import FIDELITY_NAMES, RUNG_FRACTIONS, candidate_seeds, optimize
+from .report import CandidateRecord, OptReport
+from .screen import (
+    LATENCY_METRICS,
+    METRICS_FOR_FIDELITY,
+    STRUCTURAL_METRICS,
+    analytic_metrics,
+    prune_reason,
+    screen_space,
+)
+from .space import AXIS_ORDER, Candidate, SearchSpace
+
+__all__ = [
+    "AXIS_ORDER",
+    "Candidate",
+    "CandidateRecord",
+    "Constraint",
+    "FIDELITY_NAMES",
+    "LATENCY_METRICS",
+    "METRICS_FOR_FIDELITY",
+    "Objective",
+    "OptReport",
+    "RUNG_FRACTIONS",
+    "STRUCTURAL_METRICS",
+    "SearchSpace",
+    "analytic_metrics",
+    "candidate_seeds",
+    "optimize",
+    "parse_constraint",
+    "parse_objective",
+    "prune_reason",
+    "screen_space",
+]

@@ -1,0 +1,150 @@
+"""Constraint and objective expressions over the optimizer's metric names.
+
+The CLI-facing grammar is deliberately tiny: a constraint is
+``METRIC OP VALUE`` with ``OP`` one of ``<=``, ``>=``, ``<``, ``>``, ``==``
+("p99_ms<=5", "watts<2.5", "fits_device==1"); an objective is a bare metric
+name minimized by default, or ``min:METRIC`` / ``max:METRIC`` explicitly.
+Parsing never consults the evaluation fidelity — syntax errors name the
+offending token here (the BramPlan.region error style), and *metric-name*
+validation happens in :func:`repro.opt.refine.optimize`, which knows which
+metrics the chosen fidelity can produce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["Constraint", "Objective", "parse_constraint", "parse_objective"]
+
+
+#: Comparison operators, longest first so "<=" never parses as "<" + "=5".
+_OPS: Tuple[str, ...] = ("<=", ">=", "==", "<", ">")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One bound on a metric: ``metric op bound``."""
+
+    metric: str
+    op: str
+    bound: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown constraint operator '{self.op}'; expected one of {_OPS}")
+        if not math.isfinite(self.bound):
+            raise ValueError(f"constraint bound must be finite (got {self.bound!r})")
+
+    @property
+    def spec(self) -> str:
+        return f"{self.metric}{self.op}{self.bound:g}"
+
+    def satisfied(self, value: Optional[float]) -> bool:
+        """Whether a metric value meets the bound.
+
+        An unknown value (``None`` or NaN — e.g. ``energy_per_request_J``
+        with zero completions) can never *prove* feasibility, so it fails.
+        """
+
+        if value is None:
+            return False
+        value = float(value)
+        if math.isnan(value):
+            return False
+        if self.op == "<=":
+            return value <= self.bound
+        if self.op == ">=":
+            return value >= self.bound
+        if self.op == "<":
+            return value < self.bound
+        if self.op == ">":
+            return value > self.bound
+        return value == self.bound
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"metric": self.metric, "op": self.op, "bound": self.bound}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """The scalar objective: one metric, minimized or maximized."""
+
+    metric: str
+    maximize: bool = False
+
+    @property
+    def spec(self) -> str:
+        return f"{'max' if self.maximize else 'min'}:{self.metric}"
+
+    def signed(self, value: Optional[float]) -> Optional[float]:
+        """The value on the minimization scale (negated when maximizing)."""
+
+        if value is None:
+            return None
+        value = float(value)
+        if math.isnan(value):
+            return None
+        return -value if self.maximize else value
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"metric": self.metric, "maximize": self.maximize}
+
+
+def parse_constraint(spec: str) -> Constraint:
+    """Parse ``"p99_ms<=5"`` into a :class:`Constraint`.
+
+    Malformed specs raise :class:`ValueError` naming the offending token, so
+    the CLI surfaces them as clean exit-2 errors.
+    """
+
+    text = str(spec).strip()
+    for op in _OPS:
+        if op in text:
+            metric, _, bound_text = text.partition(op)
+            metric = metric.strip()
+            bound_text = bound_text.strip()
+            if not metric:
+                raise ValueError(
+                    f"bad constraint '{spec}': missing metric name before '{op}'"
+                )
+            if any(o in metric for o in _OPS) or any(o in bound_text for o in _OPS):
+                raise ValueError(
+                    f"bad constraint '{spec}': more than one comparison operator"
+                )
+            try:
+                bound = float(bound_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad constraint '{spec}': bound '{bound_text}' is not a number"
+                ) from None
+            return Constraint(metric=metric, op=op, bound=bound)
+    raise ValueError(
+        f"bad constraint '{spec}': expected METRIC OP VALUE with OP one of "
+        f"{', '.join(_OPS)} (e.g. 'p99_ms<=5')"
+    )
+
+
+def parse_objective(spec: str) -> Objective:
+    """Parse ``"watts"`` / ``"min:watts"`` / ``"max:throughput_rps"``."""
+
+    text = str(spec).strip()
+    if ":" in text:
+        direction, _, metric = text.partition(":")
+        direction = direction.strip().lower()
+        metric = metric.strip()
+        if direction not in ("min", "max"):
+            raise ValueError(
+                f"bad objective '{spec}': direction '{direction}' must be 'min' or 'max'"
+            )
+        if not metric:
+            raise ValueError(f"bad objective '{spec}': missing metric name after ':'")
+        return Objective(metric=metric, maximize=direction == "max")
+    if not text:
+        raise ValueError("bad objective '': empty metric name")
+    if any(op in text for op in _OPS):
+        raise ValueError(
+            f"bad objective '{spec}': comparison operators belong in --constraint"
+        )
+    return Objective(metric=text)

@@ -1,0 +1,352 @@
+"""The declarative :class:`SearchSpace`: joint discrete axes over the design
+and serving knobs.
+
+A search space is the optimizer's input contract: a mapping of axis names to
+candidate values (``board``, ``qformat``, ``depth``, ``policy`` ... plus the
+integer serving axes ``replicas``, ``batch_size``, ``cells``) and a ``fixed``
+mapping for every knob that is *not* searched (the offered traffic, the SLO,
+the PL clock).  It enumerates deterministically — axes in canonical order,
+values in the order given — so every optimizer run visits candidates in the
+same sequence and per-candidate seeds are stable.
+
+A :class:`Candidate` is one joint assignment, frozen and hashable, with a
+stable string ``key`` ("board=PYNQ-Z2|n_units=16|qformat=16:8") that names it
+in reports, caches and seed derivations.  The space also knows how to realise
+a candidate at every evaluation fidelity: :meth:`SearchSpace.scenario` (the
+analytic design point), :meth:`SearchSpace.sim_scenario` (one board under
+traffic) and :meth:`SearchSpace.fleet_scenario` (a cluster of ``count``
+boards of the candidate's type).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..api.scenario import Scenario
+from ..fixedpoint.qformat import QFormat
+from ..fleet.cluster import BoardGroup, FleetScenario, canonical_board
+from ..ode.solvers import available_methods
+from ..platform import PYNQ_Z2
+from ..sim.policies import POLICY_NAMES
+from ..sim.scenario import SimScenario
+
+__all__ = ["AXIS_ORDER", "Candidate", "SearchSpace"]
+
+
+#: Canonical axis order: design knobs first, then the serving-system knobs.
+#: Enumeration nests in this order (first axis outermost), so candidate
+#: sequences — and therefore per-candidate seeds and tie-breaks — are stable.
+AXIS_ORDER: Tuple[str, ...] = (
+    "model",
+    "depth",
+    "n_units",
+    "qformat",
+    "solver",
+    "board",
+    "replicas",
+    "policy",
+    "batch_size",
+    "cells",
+)
+
+#: Axes that only exist for serving fidelities (sim / fleet / faults); the
+#: analytic design point ignores them.
+SERVING_AXES: Tuple[str, ...] = ("replicas", "policy", "batch_size", "cells")
+
+#: Fixed (non-searched) knobs a space accepts.  Design knobs flow into every
+#: scenario; traffic/system knobs only into the serving fidelities; ``count``
+#: is the fleet inventory size (boards of the candidate's type per cell set).
+FIXED_KEYS: Tuple[str, ...] = (
+    "pl_clock_hz",
+    "arrival",
+    "arrival_rate_hz",
+    "n_requests",
+    "duration_s",
+    "slo_s",
+    "warmup_s",
+    "ps_cores",
+    "dma_channels",
+    "exact",
+    "count",
+    "routing",
+    "admission",
+)
+
+#: Fixed knobs that are part of the analytic design point.
+_DESIGN_FIXED: Tuple[str, ...] = ("pl_clock_hz",)
+
+#: Fixed knobs forwarded to :class:`SimScenario` (beyond the design point).
+_SIM_FIXED: Tuple[str, ...] = (
+    "arrival", "arrival_rate_hz", "n_requests", "duration_s", "slo_s",
+    "warmup_s", "ps_cores", "dma_channels", "exact",
+)
+
+#: Fixed knobs forwarded to :class:`FleetScenario`.
+_FLEET_FIXED: Tuple[str, ...] = (
+    "arrival", "arrival_rate_hz", "n_requests", "duration_s", "slo_s",
+    "routing", "admission", "ps_cores", "dma_channels", "exact",
+)
+
+
+def _axis_value_str(name: str, value: object) -> str:
+    """Render one axis value for candidate keys ("qformat" -> "16:8")."""
+
+    if name == "qformat":
+        wl, fb = value  # type: ignore[misc]
+        return f"{wl}:{fb}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One joint axis assignment (frozen, hashable, canonically ordered)."""
+
+    values: Tuple[Tuple[str, object], ...]
+
+    @property
+    def key(self) -> str:
+        """Stable string identity: "axis=value|axis=value" in canonical order.
+
+        This is the candidate's name everywhere — report rows, tie-breaking,
+        and the entropy fed into the per-candidate RNG stream.
+        """
+
+        return "|".join(f"{n}={_axis_value_str(n, v)}" for n, v in self.values)
+
+    def get(self, name: str, default: object = None) -> object:
+        for n, v in self.values:
+            if n == name:
+                return v
+        return default
+
+    def as_dict(self) -> Dict[str, object]:
+        """The assignment as a plain dict (qformat rendered "WL:FB")."""
+
+        return {n: _axis_value_str(n, v) if n == "qformat" else v for n, v in self.values}
+
+
+def _validate_axis(name: str, values: Sequence[object]) -> Tuple[object, ...]:
+    """Eagerly validate one axis's values (fail at construction, not mid-run)."""
+
+    if not len(values):
+        raise ValueError(f"axis '{name}' has no values")
+    out: List[object] = []
+    for value in values:
+        if name == "qformat":
+            if isinstance(value, str):
+                wl, _, fb = value.partition(":")
+                if not _:
+                    raise ValueError(
+                        f"axis 'qformat' value '{value}' must be 'WL:FB' (e.g. '16:8')"
+                    )
+            else:
+                wl, fb = value  # raises on a malformed pair
+            QFormat(int(wl), int(fb))
+            value = (int(wl), int(fb))
+        elif name in ("depth", "n_units", "batch_size", "cells"):
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(
+                    f"axis '{name}' values must be positive integers (got {value!r})"
+                )
+        elif name == "replicas":
+            if not isinstance(value, int) or value < 0:
+                raise ValueError(
+                    f"axis 'replicas' values must be non-negative integers "
+                    f"(0 = auto-size; got {value!r})"
+                )
+        elif name == "policy":
+            if value not in POLICY_NAMES:
+                raise ValueError(
+                    f"axis 'policy' value '{value}' unknown; expected one of {POLICY_NAMES}"
+                )
+        elif name == "solver":
+            if str(value).lower() not in available_methods():
+                raise ValueError(
+                    f"axis 'solver' value '{value}' unknown; "
+                    f"available: {', '.join(available_methods())}"
+                )
+            value = str(value).lower()
+        elif name == "board":
+            value = canonical_board(str(value))
+        if value in out:
+            raise ValueError(f"axis '{name}' repeats value {value!r}")
+        out.append(value)
+    return tuple(out)
+
+
+class SearchSpace:
+    """Joint discrete axes plus the fixed knobs of every realised scenario.
+
+    >>> space = SearchSpace(
+    ...     axes={"board": ["PYNQ-Z2", "ZCU104"], "qformat": [(32, 20), (16, 8)]},
+    ...     fixed={"arrival": "deterministic", "arrival_rate_hz": 5.0,
+    ...            "n_requests": 200},
+    ... )
+    >>> space.size
+    4
+
+    Unknown axis names, empty/duplicate axis values, and unknown fixed keys
+    all raise :class:`ValueError` at construction.
+    """
+
+    def __init__(
+        self,
+        axes: Mapping[str, Sequence[object]],
+        fixed: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        if not axes:
+            raise ValueError("a search space needs at least one axis")
+        unknown = [name for name in axes if name not in AXIS_ORDER]
+        if unknown:
+            raise ValueError(
+                f"unknown axis '{unknown[0]}'; known axes: {', '.join(AXIS_ORDER)}"
+            )
+        self.axes: Dict[str, Tuple[object, ...]] = {
+            name: _validate_axis(name, list(axes[name])) for name in AXIS_ORDER if name in axes
+        }
+        fixed = dict(fixed or {})
+        bad = [key for key in fixed if key not in FIXED_KEYS]
+        if bad:
+            raise ValueError(
+                f"unknown fixed knob '{bad[0]}'; known: {', '.join(FIXED_KEYS)}"
+            )
+        clash = [key for key in fixed if key in self.axes]
+        if clash:
+            raise ValueError(f"'{clash[0]}' is both an axis and a fixed knob")
+        self.fixed: Dict[str, object] = fixed
+        # Fail fast on an unsatisfiable joint assignment: the first candidate
+        # exercises Scenario validation for the fixed design knobs.
+        self.scenario(self.candidates()[0])
+
+    # -- enumeration -------------------------------------------------------------------
+
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        return tuple(self.axes)
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for values in self.axes.values():
+            out *= len(values)
+        return out
+
+    def candidates(self) -> List[Candidate]:
+        """Every candidate, in deterministic nested-loop order."""
+
+        names = list(self.axes)
+        return [
+            Candidate(values=tuple(zip(names, combo)))
+            for combo in itertools.product(*(self.axes[n] for n in names))
+        ]
+
+    def neighbors(self, candidate: Candidate) -> List[Candidate]:
+        """Candidates one step away along exactly one axis (±1 value index).
+
+        The local-search move set: deterministic order (axes in canonical
+        order, minus-step before plus-step), so a neighborhood walk is
+        reproducible.
+        """
+
+        assignment = dict(candidate.values)
+        out: List[Candidate] = []
+        for name, values in self.axes.items():
+            idx = values.index(assignment[name])
+            for step in (-1, 1):
+                j = idx + step
+                if 0 <= j < len(values):
+                    moved = dict(assignment)
+                    moved[name] = values[j]
+                    out.append(Candidate(values=tuple((n, moved[n]) for n in self.axes)))
+        return out
+
+    # -- candidate -> scenario builders ------------------------------------------------
+
+    def _design_kwargs(self, candidate: Candidate) -> Dict[str, object]:
+        kwargs: Dict[str, object] = {}
+        for name in ("model", "depth", "n_units", "solver", "board"):
+            value = candidate.get(name)
+            if value is not None:
+                kwargs[name] = value
+        qf = candidate.get("qformat")
+        if qf is not None:
+            kwargs["word_length"], kwargs["fraction_bits"] = qf
+        for key in _DESIGN_FIXED:
+            if key in self.fixed:
+                kwargs[key] = self.fixed[key]
+        return kwargs
+
+    def scenario(self, candidate: Candidate) -> Scenario:
+        """The candidate's analytic design point (serving axes ignored)."""
+
+        return Scenario(**self._design_kwargs(candidate))
+
+    def _scale_stop(self, kwargs: Dict[str, object], fraction: float, default_n: int) -> None:
+        """Scale the run's stop condition by ``fraction`` (halving rungs)."""
+
+        if fraction >= 1.0:
+            if "n_requests" not in kwargs and "duration_s" not in kwargs:
+                kwargs["n_requests"] = default_n
+            return
+        if "n_requests" in kwargs and kwargs["n_requests"] is not None:
+            kwargs["n_requests"] = max(1, int(round(kwargs["n_requests"] * fraction)))
+        elif "duration_s" in kwargs and kwargs["duration_s"] is not None:
+            kwargs["duration_s"] = kwargs["duration_s"] * fraction
+        else:
+            kwargs["n_requests"] = max(1, int(round(default_n * fraction)))
+
+    def sim_scenario(
+        self, candidate: Candidate, seed: int = 0, fraction: float = 1.0
+    ) -> SimScenario:
+        """The candidate under the space's traffic, on one board.
+
+        ``fraction`` scales the stop condition (``n_requests`` or
+        ``duration_s``) — the successive-halving rung lengths.  ``seed`` is
+        the per-candidate stream the optimizer derives; it never comes from
+        the fixed knobs.
+        """
+
+        kwargs = self._design_kwargs(candidate)
+        for key in _SIM_FIXED:
+            if key in self.fixed:
+                kwargs[key] = self.fixed[key]
+        for name in ("replicas", "policy", "batch_size"):
+            value = candidate.get(name)
+            if value is not None:
+                kwargs[name] = value
+        self._scale_stop(kwargs, fraction, default_n=100)
+        return SimScenario(seed=seed, **kwargs)
+
+    def fleet_scenario(
+        self, candidate: Candidate, seed: int = 0, fraction: float = 1.0
+    ) -> FleetScenario:
+        """The candidate as a homogeneous fleet of ``fixed["count"]`` boards."""
+
+        design = self._design_kwargs(candidate)
+        board = design.pop("board", PYNQ_Z2.name)
+        design.pop("pl_clock_hz", None)  # FleetScenario has no PL-clock override
+        count = int(self.fixed.get("count", 1))
+        kwargs: Dict[str, object] = dict(design)
+        for key in _FLEET_FIXED:
+            if key in self.fixed:
+                kwargs[key] = self.fixed[key]
+        for name in ("replicas", "policy", "batch_size", "cells"):
+            value = candidate.get(name)
+            if value is not None:
+                kwargs[name] = value
+        self._scale_stop(kwargs, fraction, default_n=1000)
+        return FleetScenario(boards=(BoardGroup(board, count),), seed=seed, **kwargs)
+
+    # -- serialisation -----------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "axes": {
+                name: [_axis_value_str(name, v) if name == "qformat" else v for v in values]
+                for name, values in self.axes.items()
+            },
+            "fixed": dict(self.fixed),
+            "size": self.size,
+        }

@@ -19,8 +19,11 @@ Fabric totals (BRAM36/DSP48/LUT/FF) are the vendors' published device
 resources.  Power profiles are documented-class estimates in the same spirit
 as the seed's Zynq-7000 figures (see :class:`~repro.platform.device
 .PowerProfile`); the UltraScale+ fabric delay scale reflects its faster
-switching (the timing constants were calibrated on 7-series).  What the
-platform layer deliberately does *not* model is recorded in ROADMAP.md.
+switching (the timing constants were calibrated on 7-series).  ``price_usd``
+figures are the launch-era vendor list prices (TUL $119, Digilent $299,
+Avnet $249, Xilinx $1295) — a cost axis for ``repro.opt``, not quotes.
+What the platform layer deliberately does *not* model is recorded in
+ROADMAP.md.
 """
 
 from __future__ import annotations
@@ -86,6 +89,7 @@ PYNQ_Z2 = register_board(
             pl_dynamic_per_bram_w=0.0005,
             pl_dynamic_base_w=0.05,
         ),
+        price_usd=119.0,
     )
 )
 
@@ -108,6 +112,7 @@ ZYBO_Z7_20 = register_board(
             pl_dynamic_per_bram_w=0.0005,
             pl_dynamic_base_w=0.05,
         ),
+        price_usd=299.0,
     )
 )
 
@@ -129,6 +134,7 @@ ULTRA96_V2 = register_board(
             pl_dynamic_per_bram_w=0.0004,
             pl_dynamic_base_w=0.08,
         ),
+        price_usd=249.0,
     )
 )
 
@@ -151,6 +157,7 @@ ZCU104 = register_board(
             pl_dynamic_per_bram_w=0.0004,
             pl_dynamic_base_w=0.12,
         ),
+        price_usd=1295.0,
     )
 )
 

@@ -24,7 +24,7 @@ truth per constant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 __all__ = ["ResourceVector", "FpgaDevice", "PowerProfile", "BoardSpec"]
 
@@ -149,6 +149,10 @@ class BoardSpec:
     fabric_delay_scale: float = 1.0
     #: Documented power constants of this board's PS + PL system.
     power: PowerProfile = PowerProfile()
+    #: Documented street price, USD (launch-era list price; ``None`` when
+    #: unknown).  Used as a cost axis by ``repro.opt`` — an estimate for
+    #: ranking, not a quote.
+    price_usd: Optional[float] = None
 
     @property
     def ps_clock_mhz(self) -> float:

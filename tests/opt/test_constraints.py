@@ -1,0 +1,100 @@
+"""Constraint / objective expressions and their error surface."""
+
+import math
+
+import pytest
+
+from repro.opt import Constraint, Objective, parse_constraint, parse_objective
+
+
+class TestParseConstraint:
+    @pytest.mark.parametrize(
+        "spec, metric, op, bound",
+        [
+            ("p99_ms<=5", "p99_ms", "<=", 5.0),
+            ("throughput_rps>=2.5", "throughput_rps", ">=", 2.5),
+            ("watts<1.5", "watts", "<", 1.5),
+            ("bram_pct>10", "bram_pct", ">", 10.0),
+            ("fits_device==1", "fits_device", "==", 1.0),
+            ("  p95_ms <= 8e-1 ", "p95_ms", "<=", 0.8),
+        ],
+    )
+    def test_grammar(self, spec, metric, op, bound):
+        c = parse_constraint(spec)
+        assert (c.metric, c.op, c.bound) == (metric, op, bound)
+
+    def test_bad_bound_names_the_token(self):
+        with pytest.raises(ValueError, match="bound 'fast' is not a number"):
+            parse_constraint("p99_ms<=fast")
+
+    def test_missing_metric_names_the_operator(self):
+        with pytest.raises(ValueError, match="missing metric name before '<='"):
+            parse_constraint("<=5")
+
+    def test_double_operator_rejected(self):
+        with pytest.raises(ValueError, match="more than one comparison operator"):
+            parse_constraint("1<p99_ms<5")
+
+    def test_no_operator_names_expected_shape(self):
+        with pytest.raises(ValueError, match="expected METRIC OP VALUE"):
+            parse_constraint("p99_ms")
+
+    def test_non_finite_bound_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            parse_constraint("watts<=inf")
+
+
+class TestSatisfied:
+    def test_each_operator(self):
+        assert parse_constraint("x<=2").satisfied(2.0)
+        assert not parse_constraint("x<2").satisfied(2.0)
+        assert parse_constraint("x>=2").satisfied(2.0)
+        assert not parse_constraint("x>2").satisfied(2.0)
+        assert parse_constraint("x==2").satisfied(2.0)
+        assert not parse_constraint("x==2").satisfied(2.1)
+
+    def test_unknown_values_never_prove_feasibility(self):
+        c = parse_constraint("x<=2")
+        assert not c.satisfied(None)
+        assert not c.satisfied(float("nan"))
+
+    def test_spec_round_trip(self):
+        assert parse_constraint("p99_ms<=5").spec == "p99_ms<=5"
+        assert parse_constraint("p99_ms<=5").as_dict() == {
+            "metric": "p99_ms", "op": "<=", "bound": 5.0,
+        }
+
+
+class TestObjective:
+    def test_bare_metric_minimizes(self):
+        obj = parse_objective("watts")
+        assert obj == Objective(metric="watts", maximize=False)
+        assert obj.spec == "min:watts"
+
+    def test_min_max_prefixes(self):
+        assert parse_objective("min:p99_ms").maximize is False
+        assert parse_objective("max:throughput_rps").maximize is True
+
+    def test_signed_negates_when_maximizing(self):
+        assert parse_objective("max:x").signed(3.0) == -3.0
+        assert parse_objective("min:x").signed(3.0) == 3.0
+        assert parse_objective("max:x").signed(None) is None
+        assert parse_objective("max:x").signed(math.nan) is None
+
+    def test_bad_direction_is_named(self):
+        with pytest.raises(ValueError, match="direction 'most' must be 'min' or 'max'"):
+            parse_objective("most:watts")
+
+    def test_empty_metric_rejected(self):
+        with pytest.raises(ValueError, match="missing metric name"):
+            parse_objective("min:")
+        with pytest.raises(ValueError, match="empty metric name"):
+            parse_objective("")
+
+    def test_operators_rejected_in_objectives(self):
+        with pytest.raises(ValueError, match="belong in --constraint"):
+            parse_objective("watts<=2")
+
+    def test_unknown_op_in_constructor(self):
+        with pytest.raises(ValueError, match="unknown constraint operator"):
+            Constraint(metric="x", op="!=", bound=1.0)

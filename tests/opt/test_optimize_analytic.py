@@ -1,0 +1,180 @@
+"""The analytic correctness anchor: optimize() == the exhaustive argmin.
+
+At ``fidelity="analytic"`` every candidate is screened exactly, so the
+optimizer must return *precisely* the constrained argmin an exhaustive
+``sweep_batch`` grid would pick — computed here independently from the raw
+batch columns, not through any repro.opt code path.
+"""
+
+import json
+
+import pytest
+
+from repro.api import sweep_batch
+from repro.opt import OptReport, SearchSpace, optimize
+from repro.platform import BOARDS, get_board
+
+AXES = {
+    "board": ["PYNQ-Z2", "Zybo-Z7-20", "Ultra96-V2", "ZCU104"],
+    "qformat": ["16:8", "32:20"],
+    "n_units": [16, 32],
+}
+
+
+def exhaustive_argmin(space, objective_of, feasible_of):
+    """Brute-force reference: scan every candidate's raw batch record."""
+
+    candidates = space.candidates()
+    table = sweep_batch([space.scenario(c) for c in candidates])
+    best = None
+    for i, c in enumerate(candidates):
+        rec = table.record(i)
+        if not feasible_of(rec):
+            continue
+        value = objective_of(rec)
+        entry = (value, c.key)
+        if best is None or entry < best:
+            best = entry
+    return best
+
+
+class TestExhaustiveAnchor:
+    def test_constrained_argmin_matches_sweep_batch(self):
+        space = SearchSpace(axes=AXES)
+        report = optimize(
+            space,
+            objective="board_price_usd",
+            constraints=("latency_ms<=500", "meets_timing==1"),
+        )
+        reference = exhaustive_argmin(
+            space,
+            objective_of=lambda rec: get_board(str(rec["board"])).price_usd,
+            feasible_of=lambda rec: (
+                float(rec["total_w_pl_s"]) * 1e3 <= 500 and bool(rec["meets_timing"])
+            ),
+        )
+        assert reference is not None
+        assert report.best is not None
+        assert report.best["key"] == reference[1]
+        assert report.best["objective"] == pytest.approx(reference[0])
+
+    def test_maximize_objective_matches(self):
+        space = SearchSpace(axes=AXES)
+        report = optimize(
+            space,
+            objective="max:overall_speedup",
+            constraints=("meets_timing==1",),
+        )
+        reference = max(
+            (
+                (float(rec["overall_speedup"]), c.key)
+                for c, rec in _records(space)
+                if bool(rec["meets_timing"])
+            ),
+            key=lambda e: (e[0], [-ord(ch) for ch in e[1]]),
+        )
+        assert report.best["objective"] == pytest.approx(reference[0])
+
+    def test_analytic_spends_no_simulation_budget(self):
+        report = optimize(SearchSpace(axes=AXES), objective="watts")
+        assert report.budget_spent == 0.0
+        assert report.evaluations == 0
+        # Every candidate is accounted for in the trace.
+        assert len(report.candidates) == report.space["size"]
+        statuses = {c.status for c in report.candidates}
+        assert statuses <= {"feasible", "infeasible", "best"}
+
+
+def _records(space):
+    candidates = space.candidates()
+    table = sweep_batch([space.scenario(c) for c in candidates])
+    return [(c, table.record(i)) for i, c in enumerate(candidates)]
+
+
+class TestInfeasibleSpace:
+    def test_returns_report_not_exception(self):
+        report = optimize(
+            SearchSpace(axes={"n_units": [16, 32]}),
+            objective="watts",
+            constraints=("latency_ms<=0.001",),
+        )
+        assert isinstance(report, OptReport)
+        assert report.best is None
+        assert "no candidate satisfies the constraints" in report.note
+        assert "[note]" in report.render()
+
+    def test_json_null_semantics(self):
+        report = optimize(
+            SearchSpace(axes={"n_units": [16]}),
+            objective="watts",
+            constraints=("latency_ms<=0.001",),
+        )
+        payload = json.loads(report.to_json())
+        assert payload["best"] is None
+        assert isinstance(payload["note"], str)
+        assert len(payload["candidates"]) == 1
+
+
+class TestValidation:
+    def test_unknown_metric_lists_valid_ones(self):
+        with pytest.raises(ValueError, match="unknown metric 'qps'.*fidelity=analytic"):
+            optimize(SearchSpace(axes={"n_units": [16]}), objective="qps")
+
+    def test_sim_metric_rejected_at_analytic_fidelity(self):
+        with pytest.raises(ValueError, match="unknown metric 'p99_ms'"):
+            optimize(
+                SearchSpace(axes={"n_units": [16]}),
+                objective="watts",
+                constraints=("p99_ms<=5",),
+            )
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="unknown fidelity 'exact'"):
+            optimize(SearchSpace(axes={"n_units": [16]}), objective="watts", fidelity="exact")
+
+    def test_slo_metric_requires_fixed_slo(self):
+        with pytest.raises(ValueError, match="slo_violation_fraction.*slo_s"):
+            optimize(
+                SearchSpace(axes={"n_units": [16]}),
+                objective="min:slo_violation_fraction",
+                fidelity="sim",
+            )
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget must be positive"):
+            optimize(SearchSpace(axes={"n_units": [16]}), objective="watts", budget=0)
+
+
+class TestDeterminismAndTies:
+    def test_repeat_runs_are_identical(self):
+        space = SearchSpace(axes=AXES)
+        a = optimize(space, "watts", ("meets_timing==1",), seed=11)
+        b = optimize(space, "watts", ("meets_timing==1",), seed=11)
+        assert a.as_dict() == b.as_dict()
+
+    def test_ties_break_on_candidate_key(self):
+        # board_price_usd ties across qformats on the same board; the first
+        # key in lexicographic order must win, deterministically.
+        space = SearchSpace(axes={"board": ["PYNQ-Z2"], "qformat": ["16:8", "32:20"]})
+        report = optimize(space, "board_price_usd")
+        assert report.best["key"] == "qformat=16:8|board=PYNQ-Z2"
+
+    def test_all_registered_boards_have_prices(self):
+        for name in BOARDS:
+            assert get_board(name).price_usd is not None
+
+
+class TestParetoFront:
+    def test_front_over_evaluated_candidates(self):
+        report = optimize(SearchSpace(axes=AXES), objective="watts")
+        front = report.pareto_front("latency_ms", "watts")
+        assert front
+        # No front member dominates another on both metrics.
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                assert not (
+                    a.metrics["latency_ms"] <= b.metrics["latency_ms"]
+                    and a.metrics["watts"] <= b.metrics["watts"]
+                )
