@@ -70,6 +70,7 @@ these objects; see the package README for the quickstart.
 """
 
 from .accuracy import AccuracyPoint, AccuracySweepResult, accuracy_sweep
+from .rtl import export_rtl
 from .batch import BatchResult, pareto_indices, sweep_batch
 from .cache import ResultCache
 from .evaluator import TRAINING_PROJECTION_KEYS, Evaluator
@@ -127,6 +128,7 @@ __all__ = [
     "ResultCache",
     "pareto_indices",
     "accuracy_sweep",
+    "export_rtl",
     "AccuracySweepResult",
     "AccuracyPoint",
     "results_to_csv",

@@ -24,6 +24,7 @@ sim            discrete-event serving simulation (arrivals/replicas/policies)
 fleet          multi-board cluster serving (balancer/SLO admission/autoscale)
 timing         timing-closure sweep over MAC-unit counts
 accuracy-sweep accuracy-vs-Q-format-vs-latency frontier of the PL datapath
+rtl            ODEBlock Verilog emission + vectors + structural/sim checks
 ============  ==========================================================
 
 Every sub-command accepts ``--json`` to emit the structured result instead
@@ -1069,6 +1070,93 @@ def _cmd_accuracy_sweep(args, evaluator: Evaluator) -> CommandOutput:
             title=f"Accuracy-vs-format sweep: {args.block}, {args.images} images",
         )
     return CommandOutput(text, result.records())
+
+
+def _configure_rtl(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--block", default="layer3_2",
+        help="offloadable block geometry to emit (layer1/layer2_2/layer3_2)",
+    )
+    p.add_argument("--board", default="PYNQ-Z2", help="board whose spec sizes the design")
+    p.add_argument(
+        "--qformat", default="32:20", metavar="WL:FB",
+        help="fixed-point format of the datapath (default: the paper's Q20)",
+    )
+    p.add_argument(
+        "--n-units", type=int, default=None,
+        help="MAC-unit count (default: largest conv_xN that fits the board and closes timing)",
+    )
+    p.add_argument("--out", default="rtl_out", help="bundle output directory")
+    p.add_argument(
+        "--vectors", type=int, default=0, metavar="IMAGES",
+        help="dump testbench vectors for this many stimulus images per iteration",
+    )
+    p.add_argument("--iterations", type=int, default=2, help="Euler iterations per vector image")
+    p.add_argument("--seed", type=int, default=0, help="weight/stimulus PRNG seed")
+    p.add_argument("--time-concat", action="store_true", help="emit the time-concat input channel")
+    p.add_argument("--step-size", type=float, default=1.0, help="Euler step size h")
+    p.add_argument(
+        "--check", action="store_true",
+        help="run the pure-Python structural checker on the emitted bundle",
+    )
+    p.add_argument(
+        "--simulate", action="store_true",
+        help="run the iverilog conformance testbench (skipped when not installed)",
+    )
+
+
+@command(
+    "rtl",
+    help="emit the ODEBlock Verilog bundle (+ vectors, structural check, simulation)",
+    configure=_configure_rtl,
+)
+def _cmd_rtl(args, evaluator: Evaluator) -> CommandOutput:
+    from .api.rtl import export_rtl
+
+    (qformat,) = _parse_formats([args.qformat], flag="--qformat")
+    if args.simulate and args.vectors <= 0:
+        raise ValueError("--simulate needs --vectors N (there is nothing to replay otherwise)")
+    summary = export_rtl(
+        args.out,
+        block=args.block,
+        board=args.board,
+        qformat=qformat,
+        n_units=args.n_units,
+        time_concat=args.time_concat,
+        step_size=args.step_size,
+        vectors=args.vectors,
+        iterations=args.iterations,
+        seed=args.seed,
+        check=args.check,
+        simulate=args.simulate,
+    )
+    lines = [
+        f"RTL bundle: {summary['out_dir']}",
+        f"  block     {summary['block']['name']} "
+        f"({summary['block']['out_channels']}ch {summary['block']['height']}x{summary['block']['width']})",
+        f"  qformat   {summary['qformat']['word_length']}:{summary['qformat']['fraction_bits']}",
+        f"  board     {summary['board']['name']}",
+        f"  n_units   {summary['n_units']} ({summary['n_banks']} weight banks)",
+        f"  resources {summary['resources']['dsp']} DSP, {summary['resources']['bram_tiles']} BRAM tiles",
+        f"  files     {len(summary['files'])}",
+    ]
+    if summary["vectors"] is not None:
+        lines.append(
+            f"  vectors   {summary['vectors']['records']} records "
+            f"x {summary['vectors']['words_per_map']} words"
+        )
+    if summary["check"] is not None:
+        lines.append(f"  check     {'ok' if summary['check']['ok'] else 'FAILED'}")
+    sim = summary["simulation"]
+    if sim is not None:
+        if sim.get("skipped"):
+            lines.append(f"  simulate  skipped ({sim['reason']})")
+        else:
+            lines.append(
+                f"  simulate  {'PASS' if sim['passed'] else 'FAIL'} "
+                f"({sim['vectors']} vectors, {sim['words']} words)"
+            )
+    return CommandOutput("\n".join(lines), summary)
 
 
 def _pareto_front_or_error(table: BatchResult, x: str, y: str, maximize_x: bool, maximize_y: bool):

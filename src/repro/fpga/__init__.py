@@ -32,7 +32,14 @@ from .geometry import (
     BlockGeometry,
     block_geometry,
 )
-from .export import WeightImageHeader, export_block_weights, import_block_weights
+from .export import (
+    WeightImageError,
+    WeightImageHeader,
+    WeightImageMagicError,
+    WeightImageVersionError,
+    export_block_weights,
+    import_block_weights,
+)
 from .odeblock_hw import BlockWeights, HardwareExecutionReport, HardwareODEBlock
 from .ops import hw_batch_norm, hw_conv2d, hw_relu, hw_residual_add
 from .power import EnergyEstimate, PowerModel, PowerModelConfig
@@ -104,6 +111,9 @@ __all__ = [
     "PowerModelConfig",
     "EnergyEstimate",
     "WeightImageHeader",
+    "WeightImageError",
+    "WeightImageMagicError",
+    "WeightImageVersionError",
     "export_block_weights",
     "import_block_weights",
 ]

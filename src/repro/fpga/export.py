@@ -29,12 +29,46 @@ from ..fixedpoint import QFormat, Q20
 from .geometry import BlockGeometry, block_geometry
 from .odeblock_hw import BlockWeights
 
-__all__ = ["WeightImageHeader", "export_block_weights", "import_block_weights"]
+__all__ = [
+    "WeightImageHeader",
+    "WeightImageError",
+    "WeightImageMagicError",
+    "WeightImageVersionError",
+    "export_block_weights",
+    "import_block_weights",
+]
 
 #: Magic number identifying a weight image ("ODEW" little-endian).
 _MAGIC = 0x4F444557
 _HEADER_STRUCT = struct.Struct("<IHHHHHHB3x")
 _VERSION = 1
+
+
+class WeightImageError(ValueError):
+    """Base class for malformed weight-image failures."""
+
+
+class WeightImageMagicError(WeightImageError):
+    """The image does not start with the ODEW magic number."""
+
+    def __init__(self, found: int):
+        self.found = found
+        self.expected = _MAGIC
+        super().__init__(
+            f"not an ODEBlock weight image: magic 0x{found:08X}, "
+            f"expected 0x{_MAGIC:08X} ('ODEW')"
+        )
+
+
+class WeightImageVersionError(WeightImageError):
+    """The image's format version is not one this reader understands."""
+
+    def __init__(self, found: int):
+        self.found = found
+        self.expected = _VERSION
+        super().__init__(
+            f"unsupported weight image version {found}, expected {_VERSION}"
+        )
 
 
 @dataclass(frozen=True)
@@ -62,13 +96,18 @@ class WeightImageHeader:
 
     @classmethod
     def unpack(cls, data: bytes) -> "WeightImageHeader":
+        if len(data) < _HEADER_STRUCT.size:
+            raise WeightImageError(
+                f"weight image truncated: {len(data)} bytes, "
+                f"the header alone is {_HEADER_STRUCT.size}"
+            )
         magic, version, in_ch, out_ch, kernel, word, frac, concat = _HEADER_STRUCT.unpack(
             data[: _HEADER_STRUCT.size]
         )
         if magic != _MAGIC:
-            raise ValueError("not an ODEBlock weight image (bad magic)")
+            raise WeightImageMagicError(magic)
         if version != _VERSION:
-            raise ValueError(f"unsupported weight image version {version}")
+            raise WeightImageVersionError(version)
         return cls(
             in_channels=in_ch,
             out_channels=out_ch,

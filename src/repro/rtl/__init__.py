@@ -1,0 +1,82 @@
+"""``repro.rtl`` — ODEBlock RTL emission pinned by bit-exact conformance.
+
+The package closes the loop between the repo's analytic accelerator models
+and actual hardware artifacts:
+
+* :mod:`repro.rtl.emit` — template-based Verilog emission parameterised by
+  ``QFormat`` × ``BlockGeometry`` × board-derived unit count;
+* :mod:`repro.rtl.vectors` — stimulus/expected dumps from the batched
+  ``FxArray`` engine (the Python bit-truth);
+* :mod:`repro.rtl.check` — toolchain-free structural verification against
+  the BRAM plan and the resource estimator;
+* :mod:`repro.rtl.simrun` — optional iverilog conformance runs
+  (auto-skipped when no simulator is installed).
+"""
+
+from .check import (
+    InstanceCountError,
+    ManifestError,
+    PortWidthError,
+    RomDepthError,
+    StructuralCheckError,
+    check_bundle,
+)
+from .emit import (
+    BN_ROM_FILE,
+    MANIFEST_FILE,
+    MANIFEST_VERSION,
+    SOURCE_FILES,
+    TB_FILE,
+    TOP_FILE,
+    RtlBundle,
+    default_n_units,
+    emit_odeblock,
+    emit_testbench,
+    random_block_weights,
+)
+from .simrun import SimulationResult, iverilog_available, run_conformance
+from .vectors import (
+    EXPECTED_HEX,
+    GOLDEN_CASES,
+    STIMULUS_HEX,
+    VECTORS_MANIFEST,
+    GoldenCase,
+    VectorRecord,
+    VectorSet,
+    generate_vectors,
+    golden_vectors,
+    write_vector_files,
+)
+
+__all__ = [
+    "RtlBundle",
+    "emit_odeblock",
+    "emit_testbench",
+    "default_n_units",
+    "random_block_weights",
+    "SOURCE_FILES",
+    "TOP_FILE",
+    "TB_FILE",
+    "MANIFEST_FILE",
+    "MANIFEST_VERSION",
+    "BN_ROM_FILE",
+    "VectorRecord",
+    "VectorSet",
+    "GoldenCase",
+    "GOLDEN_CASES",
+    "generate_vectors",
+    "golden_vectors",
+    "write_vector_files",
+    "STIMULUS_HEX",
+    "EXPECTED_HEX",
+    "VECTORS_MANIFEST",
+    "StructuralCheckError",
+    "ManifestError",
+    "PortWidthError",
+    "RomDepthError",
+    "InstanceCountError",
+    "check_bundle",
+    "SimulationResult",
+    "iverilog_available",
+    "run_conformance",
+]

@@ -1,0 +1,106 @@
+"""Conformance runner: drive iverilog over an emitted bundle when present.
+
+The simulator is strictly optional — :func:`iverilog_available` gates every
+caller (tests skip, the CLI reports ``simulation: skipped``) so the
+conformance loop degrades to the pure-Python structural check on machines
+without a Verilog toolchain.  When ``iverilog``/``vvp`` exist, the emitted
+testbench replays every stimulus record against the DUT and the run passes
+only if **every** output word is bit-identical to the FxArray expectation.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .emit import TB_FILE
+
+__all__ = ["SimulationResult", "iverilog_available", "run_conformance"]
+
+_PASS_RE = re.compile(r"CONFORMANCE PASS (\d+) vectors (\d+) words")
+_FAIL_RE = re.compile(r"CONFORMANCE FAIL")
+_MISMATCH_RE = re.compile(r"MISMATCH", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one iverilog conformance run."""
+
+    available: bool
+    passed: bool = False
+    vectors: int = 0
+    words: int = 0
+    mismatches: int = 0
+    stdout: str = ""
+
+    @property
+    def skipped(self) -> bool:
+        return not self.available
+
+
+def iverilog_available() -> bool:
+    """True when both ``iverilog`` and ``vvp`` are on PATH."""
+
+    return shutil.which("iverilog") is not None and shutil.which("vvp") is not None
+
+
+def run_conformance(
+    bundle_dir: Union[str, Path],
+    *,
+    sources: Optional[List[str]] = None,
+    timeout: float = 300.0,
+) -> SimulationResult:
+    """Compile and simulate the bundle's testbench, parsing the verdict.
+
+    ``bundle_dir`` must hold the emitted sources, the ROM ``.hex`` images,
+    the testbench (``tb_odeblock.v``) and the vector files it reads.  When
+    no simulator is installed the call returns ``available=False`` without
+    touching the filesystem — callers treat that as a skip, never a failure.
+    """
+
+    bundle = Path(bundle_dir)
+    if not iverilog_available():
+        return SimulationResult(available=False)
+
+    if sources is None:
+        sources = [TB_FILE, "odeblock_top.v", "conv_pe.v", "bn_unit.v", "weight_rom.v"]
+    missing = [s for s in sources if not (bundle / s).is_file()]
+    if missing:
+        raise FileNotFoundError(
+            f"bundle {bundle} is missing sources for simulation: {', '.join(missing)}"
+        )
+
+    compile_cmd = ["iverilog", "-g2005", "-o", "sim.vvp"] + sources
+    proc = subprocess.run(
+        compile_cmd, cwd=bundle, capture_output=True, text=True, timeout=timeout
+    )
+    if proc.returncode != 0:
+        return SimulationResult(
+            available=True,
+            passed=False,
+            stdout=f"iverilog compile failed:\n{proc.stdout}{proc.stderr}",
+        )
+
+    run = subprocess.run(
+        ["vvp", "sim.vvp"], cwd=bundle, capture_output=True, text=True, timeout=timeout
+    )
+    output = run.stdout + run.stderr
+    match = _PASS_RE.search(output)
+    if match and run.returncode == 0 and not _FAIL_RE.search(output):
+        return SimulationResult(
+            available=True,
+            passed=True,
+            vectors=int(match.group(1)),
+            words=int(match.group(2)),
+            stdout=output,
+        )
+    return SimulationResult(
+        available=True,
+        passed=False,
+        mismatches=len(_MISMATCH_RE.findall(output)),
+        stdout=output,
+    )

@@ -33,7 +33,7 @@ class TestHeader:
         assert WeightImageHeader.unpack(header.pack()) == header
 
     def test_bad_magic_rejected(self):
-        with pytest.raises(ValueError, match="bad magic"):
+        with pytest.raises(ValueError, match="expected 0x4F444557"):
             WeightImageHeader.unpack(b"\x00" * 32)
 
     def test_qformat_accessor(self):
