@@ -114,7 +114,41 @@ def _bn_magnitudes(x: np.ndarray) -> Dict[str, np.ndarray]:
     }
 
 
-def _analytic_bound(fmt: QFormat, weights: BlockWeights, z: np.ndarray, stages: Dict) -> float:
+def _reference_stats(z: np.ndarray, stages: Dict) -> Dict[str, object]:
+    """Reference magnitudes the analytic bound needs, from one image chunk.
+
+    Every entry is a per-image max (or per-image min), so chunks reduce
+    exactly: max-of-max / min-of-min over chunks equals the whole-batch
+    statistic regardless of how the batch was split.
+    """
+
+    bn1_mag = _bn_magnitudes(stages["conv1"])
+    bn2_mag = _bn_magnitudes(stages["conv2"])
+    return {
+        "input_max": float(np.max(np.abs(z))),
+        "hidden_max": float(np.max(np.abs(stages["hidden"]))),
+        "centered1_max": bn1_mag["centered_max"],
+        "sigma1_min": bn1_mag["sigma_min"],
+        "centered2_max": bn2_mag["centered_max"],
+        "sigma2_min": bn2_mag["sigma_min"],
+    }
+
+
+def _merge_reference_stats(chunks: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Exact reduction of per-chunk reference stats (order-independent)."""
+
+    merged = dict(chunks[0])
+    for stats in chunks[1:]:
+        merged["input_max"] = max(merged["input_max"], stats["input_max"])
+        merged["hidden_max"] = max(merged["hidden_max"], stats["hidden_max"])
+        merged["centered1_max"] = np.maximum(merged["centered1_max"], stats["centered1_max"])
+        merged["sigma1_min"] = np.minimum(merged["sigma1_min"], stats["sigma1_min"])
+        merged["centered2_max"] = np.maximum(merged["centered2_max"], stats["centered2_max"])
+        merged["sigma2_min"] = np.minimum(merged["sigma2_min"], stats["sigma2_min"])
+    return merged
+
+
+def _analytic_bound(fmt: QFormat, weights: BlockWeights, ref_stats: Dict[str, object]) -> float:
     """The composed worst-case bound, instantiated from reference magnitudes.
 
     Valid (and asserted by tests) only while the signal stays representable;
@@ -123,23 +157,166 @@ def _analytic_bound(fmt: QFormat, weights: BlockWeights, z: np.ndarray, stages: 
     """
 
     k2 = weights.conv1_weight.shape[2] * weights.conv1_weight.shape[3]
-    bn1_mag = _bn_magnitudes(stages["conv1"])
-    bn2_mag = _bn_magnitudes(stages["conv2"])
     return odeblock_error_bound(
         fmt,
         fan_in1=weights.conv1_weight.shape[1] * k2,
         weight1_max=float(np.max(np.abs(weights.conv1_weight))),
-        input_max=float(np.max(np.abs(z))),
-        centered1_max=bn1_mag["centered_max"],
-        sigma1_min=bn1_mag["sigma_min"],
+        input_max=ref_stats["input_max"],
+        centered1_max=ref_stats["centered1_max"],
+        sigma1_min=ref_stats["sigma1_min"],
         fan_in2=weights.conv2_weight.shape[1] * k2,
         weight2_max=float(np.max(np.abs(weights.conv2_weight))),
-        hidden_max=float(np.max(np.abs(stages["hidden"]))),
-        centered2_max=bn2_mag["centered_max"],
-        sigma2_min=bn2_mag["sigma_min"],
+        hidden_max=ref_stats["hidden_max"],
+        centered2_max=ref_stats["centered2_max"],
+        sigma2_min=ref_stats["sigma2_min"],
         gamma1_max=float(np.max(np.abs(weights.bn1_gamma))),
         gamma2_max=float(np.max(np.abs(weights.bn2_gamma))),
     ).total
+
+
+# -- streaming accumulation ---------------------------------------------------------------
+
+
+def _chunk_bounds(images: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Image index ranges of each chunk (the last may be partial)."""
+
+    return [(start, min(start + chunk_size, images)) for start in range(0, images, chunk_size)]
+
+
+def _chunk_inputs(
+    seed: int, chunk_index: int, n_images: int, geometry: BlockGeometry, input_scale: float
+) -> np.ndarray:
+    """Inputs of one chunk, from the chunk's own seeded stream.
+
+    ``default_rng((seed, chunk))`` makes a chunk's contents a function of
+    the chunk index alone — never of which worker drew it or how many
+    workers exist — so sharded sweeps are worker-count-invariant (the same
+    discipline as ``repro.opt``).
+    """
+
+    rng = np.random.default_rng((seed, chunk_index))
+    return rng.normal(
+        0.0, input_scale, size=(n_images, geometry.in_channels, geometry.height, geometry.width)
+    )
+
+
+def _measure_chunk(
+    z: np.ndarray,
+    geometry: BlockGeometry,
+    weights: BlockWeights,
+    fmt: QFormat,
+    collect_ref: bool,
+) -> Dict[str, object]:
+    """Error accumulators of one (format, chunk) cell.
+
+    Returns running-sum statistics (count, Σerr², Σref², max |err|, the
+    representable count) instead of finished metrics, so the parent can
+    reduce chunks in a fixed order and finalise once — streaming
+    accumulation with peak memory bounded by the chunk, not the sweep.
+    """
+
+    stages = _float_forward(weights, z, stride=geometry.stride)
+    reference = stages["output"]
+    hw = HardwareODEBlock(geometry, weights, qformat=fmt)
+    error = hw.dynamics_batch(z) - reference
+    out: Dict[str, object] = {
+        "n": int(reference.size),
+        "sse": float(np.sum(np.square(error))),
+        "ssr": float(np.sum(np.square(reference))),
+        "max_abs": float(np.max(np.abs(error))),
+        # The representable *count* (not the overflow fraction): the legacy
+        # formula is ``1.0 - representable.mean()`` and only the count form
+        # reproduces it bit-for-bit after reduction.
+        "repr_count": int(np.sum(fmt.representable(reference))),
+    }
+    if collect_ref:
+        out["ref_stats"] = _reference_stats(z, stages)
+    return out
+
+
+def _finalize_error_stats(acc: Dict[str, object]) -> Dict[str, float]:
+    """Finished metrics from reduced accumulators, matching ``error_report``.
+
+    ``np.mean`` is ``np.sum / n`` (same pairwise reduction), so on a single
+    chunk these formulas are bit-identical to the legacy whole-batch
+    :func:`repro.fixedpoint.errors.error_report` path; the zero-power edge
+    cases mirror :func:`repro.fixedpoint.errors.sqnr_db` exactly.
+    """
+
+    n = acc["n"]
+    noise_power = acc["sse"] / n
+    signal_power = acc["ssr"] / n
+    if noise_power == 0.0:
+        sqnr = float("inf")
+    elif signal_power == 0.0:
+        sqnr = float("-inf")
+    else:
+        sqnr = float(10.0 * np.log10(signal_power / noise_power))
+    return {
+        "max_abs_error": acc["max_abs"],
+        "rms_error": float(np.sqrt(noise_power)),
+        "sqnr_db": sqnr,
+        "overflow_fraction": float(1.0 - acc["repr_count"] / n),
+    }
+
+
+def _reduce_error_stats(chunks: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Reduce per-chunk accumulators in the given (ascending-chunk) order."""
+
+    total = {"n": 0, "sse": 0.0, "ssr": 0.0, "max_abs": 0.0, "repr_count": 0}
+    for acc in chunks:
+        total["n"] += acc["n"]
+        total["sse"] += acc["sse"]
+        total["ssr"] += acc["ssr"]
+        total["max_abs"] = max(total["max_abs"], acc["max_abs"])
+        total["repr_count"] += acc["repr_count"]
+    return total
+
+
+# -- process-pool sharding ----------------------------------------------------------------
+
+_WORKER_CONTEXT: Dict[str, object] = {}
+
+
+def _init_sweep_worker(geometry: BlockGeometry, weights: BlockWeights, formats: List[QFormat]) -> None:
+    """Pool initializer: ship the small, constant state once per worker.
+
+    Only the weights (a few hundred KB) and the geometry/format descriptors
+    are pickled; feature maps travel through ``multiprocessing.shared_memory``
+    and are never serialised.
+    """
+
+    _WORKER_CONTEXT["geometry"] = geometry
+    _WORKER_CONTEXT["weights"] = weights
+    _WORKER_CONTEXT["formats"] = formats
+
+
+def _measure_chunk_shm(
+    shm_name: str, shape: Tuple[int, ...], fmt_index: int, collect_ref: bool
+) -> Dict[str, object]:
+    """Module-level worker (picklable): measure one (format, chunk) cell.
+
+    Attaches the chunk's shared-memory block read-only, copies it into
+    worker-local memory (so the parent may recycle the block as soon as all
+    readers finish) and runs :func:`_measure_chunk`.
+    """
+
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        z = np.array(
+            np.ndarray(shape, dtype=np.float64, buffer=shm.buf), dtype=np.float64, copy=True
+        )
+    finally:
+        shm.close()
+    return _measure_chunk(
+        z,
+        _WORKER_CONTEXT["geometry"],
+        _WORKER_CONTEXT["weights"],
+        _WORKER_CONTEXT["formats"][fmt_index],
+        collect_ref,
+    )
 
 
 # -- result container --------------------------------------------------------------------
@@ -184,13 +361,48 @@ class AccuracyPoint:
 class AccuracySweepResult:
     """Rows of an accuracy-vs-format sweep, with CSV/JSON/Pareto views."""
 
-    def __init__(self, points: Sequence[AccuracyPoint], images: int, seed: int) -> None:
+    def __init__(
+        self,
+        points: Sequence[AccuracyPoint],
+        images: int,
+        seed: int,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        chunks: int = 1,
+    ) -> None:
         self.points: List[AccuracyPoint] = list(points)
         self.images = images
         self.seed = seed
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.chunks = chunks
 
     def __len__(self) -> int:
         return len(self.points)
+
+    @property
+    def reproducibility(self) -> Dict[str, object]:
+        """What it takes to reproduce these rows bit-for-bit.
+
+        In chunked mode the inputs come from per-chunk
+        ``default_rng((seed, chunk))`` streams and the accumulators reduce
+        in ascending chunk order, so only ``seed`` and ``chunk_size``
+        matter — the worker count never does.
+        """
+
+        return {
+            "seed": self.seed,
+            "images": self.images,
+            "chunk_size": self.chunk_size,
+            "chunks": self.chunks,
+            "workers": self.workers,
+            "generator": (
+                "per-chunk default_rng((seed, chunk))"
+                if self.chunk_size is not None
+                else "single-stream default_rng(seed)"
+            ),
+            "worker_count_invariant": True,
+        }
 
     def records(self) -> List[Dict[str, object]]:
         return [p.as_dict() for p in self.points]
@@ -211,7 +423,9 @@ class AccuracySweepResult:
         return buf.getvalue().rstrip("\n")
 
     def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.records(), indent=indent)
+        return json.dumps(
+            {"reproducibility": self.reproducibility, "points": self.records()}, indent=indent
+        )
 
     def pareto_front(
         self,
@@ -228,7 +442,14 @@ class AccuracySweepResult:
             maximize_x=maximize_x,
             maximize_y=maximize_y,
         )
-        return AccuracySweepResult([self.points[i] for i in idx], self.images, self.seed)
+        return AccuracySweepResult(
+            [self.points[i] for i in idx],
+            self.images,
+            self.seed,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            chunks=self.chunks,
+        )
 
 
 # -- the sweep ---------------------------------------------------------------------------
@@ -243,6 +464,8 @@ def accuracy_sweep(
     board: BoardSpec = PYNQ_Z2,
     input_scale: float = 0.5,
     weight_scale: float = 0.1,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> AccuracySweepResult:
     """Sweep the fixed-point format axis of one PL block's datapath.
 
@@ -268,10 +491,31 @@ def accuracy_sweep(
         Magnitudes of the random inputs/weights.  Raising ``input_scale``
         pushes narrow formats into saturation, which is exactly the regime
         the ``overflow_fraction`` column reports on.
+    workers:
+        Process count for the sharded sweep.  ``workers > 1`` requires
+        ``chunk_size`` (chunking defines the shard grid); the numbers are
+        **worker-count-invariant** — workers only move wall-clock time.
+    chunk_size:
+        Images per streamed chunk.  ``None`` (the default) keeps the legacy
+        single-batch path, bit-identical to earlier releases.  Setting it
+        switches to streaming accumulation: inputs come from per-chunk
+        ``default_rng((seed, chunk))`` streams, error statistics accumulate
+        as running sums, and peak memory is bounded by the chunk size —
+        dataset-scale sweeps fit in RAM.
     """
 
     if images < 1:
         raise ValueError("images must be a positive integer")
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError("workers must be a positive integer")
+    if chunk_size is not None and int(chunk_size) < 1:
+        raise ValueError("chunk_size must be a positive integer (or None for the legacy path)")
+    if workers > 1 and chunk_size is None:
+        raise ValueError(
+            "workers > 1 requires chunk_size: the chunk grid defines the shards "
+            "(and keeps results worker-count-invariant)"
+        )
     geometry = block if isinstance(block, BlockGeometry) else block_geometry(block)
     if formats is None:
         formats = DEFAULT_FORMAT_LADDER
@@ -282,12 +526,46 @@ def accuracy_sweep(
     if not unit_list or min(unit_list) < 1:
         raise ValueError("n_units must be a non-empty sequence of positive integers")
 
-    rng = np.random.default_rng(seed)
-    weights = BlockWeights.random(geometry, rng, scale=weight_scale)
-    z = rng.normal(0.0, input_scale, size=(images, geometry.in_channels, geometry.height, geometry.width))
-
-    stages = _float_forward(weights, z, stride=geometry.stride)
-    reference = stages["output"]
+    if chunk_size is None:
+        # Legacy single-batch path: weights and inputs drawn from one
+        # ``default_rng(seed)`` stream, whole batch measured in one shot.
+        # Bit-identical to every release before the streaming mode existed.
+        rng = np.random.default_rng(seed)
+        weights = BlockWeights.random(geometry, rng, scale=weight_scale)
+        z = rng.normal(
+            0.0, input_scale, size=(images, geometry.in_channels, geometry.height, geometry.width)
+        )
+        stages = _float_forward(weights, z, stride=geometry.stride)
+        reference = stages["output"]
+        ref_stats = _reference_stats(z, stages)
+        fmt_stats: List[Dict[str, float]] = []
+        for fmt in format_list:
+            hw = HardwareODEBlock(geometry, weights, n_units=unit_list[0], qformat=fmt, board=board)
+            report = error_report(reference, hw.dynamics_batch(z), fmt)
+            fmt_stats.append(
+                {
+                    "max_abs_error": report.max_abs_error,
+                    "rms_error": report.rms_error,
+                    "sqnr_db": report.sqnr_db,
+                    "overflow_fraction": report.overflow_fraction,
+                }
+            )
+        n_chunks = 1
+    else:
+        chunk_size = int(chunk_size)
+        weights = BlockWeights.random(geometry, np.random.default_rng(seed), scale=weight_scale)
+        bounds = _chunk_bounds(images, chunk_size)
+        n_chunks = len(bounds)
+        cells, ref_chunks = _run_sharded(
+            geometry, weights, format_list, bounds, seed, input_scale, workers
+        )
+        ref_stats = _merge_reference_stats([ref_chunks[c] for c in range(n_chunks)])
+        fmt_stats = [
+            _finalize_error_stats(
+                _reduce_error_stats([cells[(i, c)] for c in range(n_chunks)])
+            )
+            for i in range(len(format_list))
+        ]
 
     # Cost/feasibility columns are closed-form kernels over the unit axis,
     # with every board-derived constant (AXI clock, fabric delay scale,
@@ -299,10 +577,8 @@ def accuracy_sweep(
     timing = TimingModel.for_board(board).analyze_batch(unit_list, target_hz=board.pl_clock_hz)
 
     points: List[AccuracyPoint] = []
-    for fmt in format_list:
-        hw = HardwareODEBlock(geometry, weights, n_units=unit_list[0], qformat=fmt, board=board)
-        report = error_report(reference, hw.dynamics_batch(z), fmt)
-        bound = _analytic_bound(fmt, weights, z, stages)
+    for fmt, stats in zip(format_list, fmt_stats):
+        bound = _analytic_bound(fmt, weights, ref_stats)
         tiles = int(bram_tiles_kernel(geometry, fmt.bytes_per_value))
         fits = bool(bram_fits_kernel(tiles, board.fpga))
         for j, units in enumerate(unit_list):
@@ -315,11 +591,11 @@ def accuracy_sweep(
                     fraction_bits=fmt.fraction_bits,
                     qformat=fmt.name,
                     n_units=units,
-                    max_abs_error=report.max_abs_error,
-                    rms_error=report.rms_error,
-                    sqnr_db=report.sqnr_db,
+                    max_abs_error=stats["max_abs_error"],
+                    rms_error=stats["rms_error"],
+                    sqnr_db=stats["sqnr_db"],
                     error_bound=bound,
-                    overflow_fraction=report.overflow_fraction,
+                    overflow_fraction=stats["overflow_fraction"],
                     latency_s=latency,
                     compute_s=compute_s,
                     transfer_s=transfer_s,
@@ -330,4 +606,79 @@ def accuracy_sweep(
                     meets_timing=bool(timing["meets_timing"][j]),
                 )
             )
-    return AccuracySweepResult(points, images=images, seed=seed)
+    return AccuracySweepResult(
+        points,
+        images=images,
+        seed=seed,
+        workers=workers,
+        chunk_size=chunk_size,
+        chunks=n_chunks,
+    )
+
+
+def _run_sharded(
+    geometry: BlockGeometry,
+    weights: BlockWeights,
+    format_list: List[QFormat],
+    bounds: List[Tuple[int, int]],
+    seed: int,
+    input_scale: float,
+    workers: int,
+) -> Tuple[Dict[Tuple[int, int], Dict[str, object]], Dict[int, Dict[str, object]]]:
+    """Measure every (format, chunk) cell, inline or across a process pool.
+
+    Returns the accumulator of each cell plus the per-chunk reference stats
+    (collected once per chunk, on the first format's task).  The parent
+    always reduces in ascending chunk order, so the two execution modes —
+    and any worker count — produce bit-identical sweeps.
+    """
+
+    cells: Dict[Tuple[int, int], Dict[str, object]] = {}
+    ref_chunks: Dict[int, Dict[str, object]] = {}
+
+    if workers == 1:
+        for c, (lo, hi) in enumerate(bounds):
+            z = _chunk_inputs(seed, c, hi - lo, geometry, input_scale)
+            for i, fmt in enumerate(format_list):
+                res = _measure_chunk(z, geometry, weights, fmt, collect_ref=(i == 0))
+                if i == 0:
+                    ref_chunks[c] = res.pop("ref_stats")
+                cells[(i, c)] = res
+        return cells, ref_chunks
+
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing import shared_memory
+
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_sweep_worker,
+        initargs=(geometry, weights, format_list),
+    ) as pool:
+        # Wave-per-chunk scheduling: at most ``workers`` chunks of input live
+        # in shared memory at once, so peak memory stays bounded by
+        # ``workers * chunk_size`` images however large the sweep is.
+        for wave_start in range(0, len(bounds), workers):
+            wave = range(wave_start, min(wave_start + workers, len(bounds)))
+            shms = []
+            futures = {}
+            try:
+                for c in wave:
+                    lo, hi = bounds[c]
+                    z = _chunk_inputs(seed, c, hi - lo, geometry, input_scale)
+                    shm = shared_memory.SharedMemory(create=True, size=z.nbytes)
+                    shms.append(shm)
+                    np.ndarray(z.shape, dtype=np.float64, buffer=shm.buf)[...] = z
+                    for i in range(len(format_list)):
+                        futures[(i, c)] = pool.submit(
+                            _measure_chunk_shm, shm.name, z.shape, i, i == 0
+                        )
+                for (i, c), future in futures.items():
+                    res = future.result()
+                    if i == 0:
+                        ref_chunks[c] = res.pop("ref_stats")
+                    cells[(i, c)] = res
+            finally:
+                for shm in shms:
+                    shm.close()
+                    shm.unlink()
+    return cells, ref_chunks

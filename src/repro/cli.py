@@ -1006,6 +1006,16 @@ def _configure_accuracy_sweep(p: argparse.ArgumentParser) -> None:
         "--input-scale", type=float, default=0.5,
         help="input magnitude (larger values push narrow formats into saturation)",
     )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sharded sweep (requires --chunk-size; "
+        "results are worker-count-invariant)",
+    )
+    p.add_argument(
+        "--chunk-size", type=int, default=None, metavar="IMAGES",
+        help="images per streamed chunk (per-chunk seeded streams, bounded "
+        "peak memory; default: the legacy single-batch path)",
+    )
     p.add_argument("--format", choices=("table", "csv", "json", "pareto"), default="table")
     p.add_argument("--pareto-x", default="latency_s", help="x metric of --format pareto")
     p.add_argument("--pareto-y", default="rms_error", help="y metric of --format pareto")
@@ -1046,6 +1056,11 @@ def _cmd_accuracy_sweep(args, evaluator: Evaluator) -> CommandOutput:
         images=args.images,
         seed=args.seed,
         input_scale=args.input_scale,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+    repro_line = "reproducibility: " + ", ".join(
+        f"{key}={value}" for key, value in result.reproducibility.items()
     )
     if args.format == "pareto":
         try:
@@ -1059,17 +1074,25 @@ def _cmd_accuracy_sweep(args, evaluator: Evaluator) -> CommandOutput:
                 f"{len(front)} of {len(result)} points"
             ),
         )
-        return CommandOutput(text, front.records())
+        return CommandOutput(
+            "\n".join([text, repro_line]),
+            {"reproducibility": front.reproducibility, "points": front.records()},
+        )
     if args.format == "csv":
         text = result.to_csv()
     elif args.format == "json":
         text = result.to_json()
     else:
-        text = format_records(
-            result.records(),
-            title=f"Accuracy-vs-format sweep: {args.block}, {args.images} images",
+        text = "\n".join(
+            [
+                format_records(
+                    result.records(),
+                    title=f"Accuracy-vs-format sweep: {args.block}, {args.images} images",
+                ),
+                repro_line,
+            ]
         )
-    return CommandOutput(text, result.records())
+    return CommandOutput(text, {"reproducibility": result.reproducibility, "points": result.records()})
 
 
 def _configure_rtl(p: argparse.ArgumentParser) -> None:

@@ -166,6 +166,35 @@ class FxArray:
         clipped = np.clip(total, self.fmt.min_int, self.fmt.max_int)
         return FxArray(np.asarray(clipped), self.fmt, self.overflow)
 
+    def matmul(self, other: "FxArray") -> "FxArray":
+        """Fixed-point matrix product ``self @ other``.
+
+        Accumulation happens in a wide accumulator before a single
+        renormalisation (the DSP48 MAC behaviour).  2-D operands route
+        through the exact split-limb GEMM of :mod:`repro.fpga.gemm`, which
+        is bit-identical to the plain int64 matmul but runs at BLAS speed
+        whenever the operands' actual magnitudes admit a mantissa-exact
+        limb decomposition.
+        """
+
+        if not isinstance(other, FxArray):
+            raise TypeError("matmul expects an FxArray operand")
+        if self.fmt != other.fmt:
+            raise ValueError("operand formats must match")
+        a = self.raw.astype(np.int64)
+        b = other.raw.astype(np.int64)
+        if a.ndim == 2 and b.ndim == 2:
+            from ..fpga.gemm import gemm_exact  # local: fpga imports fixedpoint
+
+            acc = gemm_exact(a, b)
+        else:
+            acc = a @ b
+        renorm = acc >> self.fmt.fraction_bits
+        clipped = np.clip(renorm, self.fmt.min_int, self.fmt.max_int)
+        return FxArray(clipped, self.fmt, self.overflow)
+
+    __matmul__ = matmul
+
     def matmul_float(self, weights: np.ndarray) -> "FxArray":
         """Multiply-accumulate against a float weight matrix.
 
@@ -175,10 +204,7 @@ class FxArray:
         """
 
         w_fx = self.fmt.to_fixed(weights, self.overflow)
-        acc = self.raw.astype(np.int64) @ w_fx.astype(np.int64).T
-        renorm = acc >> self.fmt.fraction_bits
-        clipped = np.clip(renorm, self.fmt.min_int, self.fmt.max_int)
-        return FxArray(clipped, self.fmt, self.overflow)
+        return self.matmul(FxArray(w_fx.T, self.fmt, self.overflow))
 
     # -- comparisons --------------------------------------------------------------------
 

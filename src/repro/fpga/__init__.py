@@ -40,8 +40,16 @@ from .export import (
     export_block_weights,
     import_block_weights,
 )
+from .gemm import (
+    FLOAT_MANTISSA_BITS,
+    MAX_LIMBS,
+    GemmPlan,
+    PlannedGemm,
+    gemm_exact,
+    plan_gemm,
+)
 from .odeblock_hw import BlockWeights, HardwareExecutionReport, HardwareODEBlock
-from .ops import hw_batch_norm, hw_conv2d, hw_relu, hw_residual_add
+from .ops import DEFAULT_ROW_CHUNK, hw_batch_norm, hw_conv2d, hw_relu, hw_residual_add
 from .power import EnergyEstimate, PowerModel, PowerModelConfig
 from .resources import PUBLISHED_TABLE3, ResourceEstimate, ResourceEstimator, published_table3
 from .scheduler import DatapathScheduler, ScheduleTrace, UnitTrace, schedule_cycles_kernel
@@ -97,6 +105,13 @@ __all__ = [
     "AxiTransferModel",
     "AxiTransferConfig",
     "TransferEstimate",
+    "FLOAT_MANTISSA_BITS",
+    "MAX_LIMBS",
+    "GemmPlan",
+    "PlannedGemm",
+    "gemm_exact",
+    "plan_gemm",
+    "DEFAULT_ROW_CHUNK",
     "hw_conv2d",
     "hw_batch_norm",
     "hw_relu",

@@ -104,12 +104,16 @@ class HardwareODEBlock:
         dynamic_bn_stats: bool = True,
         cycle_config: Optional[CycleModelConfig] = None,
         time_concat: bool = False,
+        conv_row_chunk: Optional[int] = None,
     ) -> None:
         self.geometry = block if isinstance(block, BlockGeometry) else block_geometry(block)
         self.n_units = n_units
         self.qformat = qformat
         self.board = board
         self.dynamic_bn_stats = dynamic_bn_stats
+        #: im2col rows per GEMM chunk in the conv lowering (None = the
+        #: default bound); purely a host-memory knob, bit-identical always.
+        self.conv_row_chunk = conv_row_chunk
         #: When True the block implements ODE dynamics with the integration
         #: time concatenated as one extra (constant) input channel to both
         #: convolutions, matching the software ODEBlockFunction.
@@ -191,7 +195,13 @@ class HardwareODEBlock:
         return FxArray(np.concatenate([x.raw, t_plane], axis=-3), self.qformat)
 
     def _forward_fixed(self, x: FxArray, t: float = 0.0) -> FxArray:
-        h = hw_conv2d(self._with_time_channel(x, t), self._conv1_w, stride=self.geometry.stride, padding=1)
+        h = hw_conv2d(
+            self._with_time_channel(x, t),
+            self._conv1_w,
+            stride=self.geometry.stride,
+            padding=1,
+            row_chunk=self.conv_row_chunk,
+        )
         h = hw_batch_norm(
             h,
             self._bn1_gamma,
@@ -201,7 +211,13 @@ class HardwareODEBlock:
             dynamic_stats=self.dynamic_bn_stats,
         )
         h = hw_relu(h)
-        h = hw_conv2d(self._with_time_channel(h, t), self._conv2_w, stride=1, padding=1)
+        h = hw_conv2d(
+            self._with_time_channel(h, t),
+            self._conv2_w,
+            stride=1,
+            padding=1,
+            row_chunk=self.conv_row_chunk,
+        )
         h = hw_batch_norm(
             h,
             self._bn2_gamma,

@@ -27,8 +27,15 @@ import numpy as np
 from ..fixedpoint import FxArray, QFormat, Q20
 from ..fixedpoint import arithmetic as fx
 from ..nn.im2col import conv_output_size, im2col
+from .gemm import PlannedGemm, _magnitude
 
-__all__ = ["hw_conv2d", "hw_batch_norm", "hw_relu", "hw_residual_add"]
+__all__ = ["hw_conv2d", "hw_batch_norm", "hw_relu", "hw_residual_add", "DEFAULT_ROW_CHUNK"]
+
+#: im2col rows fed to one GEMM call: bounds the peak size of the expanded
+#: C*KH*KW patch matrix (at 16,384 rows the widest offloadable block,
+#: layer3_2 with K = 577, peaks at ~75 MB of float64) independently of the
+#: batch size N.
+DEFAULT_ROW_CHUNK = 16384
 
 
 def hw_conv2d(
@@ -36,8 +43,18 @@ def hw_conv2d(
     weight: FxArray,
     stride: int = 1,
     padding: int = 1,
+    row_chunk: Optional[int] = None,
 ) -> FxArray:
     """Fixed-point 3x3 convolution of a single image or a batch.
+
+    Lowered to im2col + the exact split-limb GEMM of
+    :mod:`repro.fpga.gemm`: the weight matrix is decomposed once per call
+    (planned from the operands' actual magnitudes), image chunks stream
+    through one BLAS call each, and the recombined int64 accumulator goes
+    through the same ``>> fraction_bits`` renormalisation and clip as a MAC
+    unit with a wide accumulator register.  Bit-identical to the plain
+    int64 matmul lowering for every input — including deliberately
+    wrapping ones — and to any chunk size.
 
     Parameters
     ----------
@@ -46,6 +63,9 @@ def hw_conv2d(
         ``(N, C_in, H, W)``.
     weight:
         Kernel of shape ``(C_out, C_in, KH, KW)``.
+    row_chunk:
+        im2col rows per GEMM chunk (default :data:`DEFAULT_ROW_CHUNK`);
+        peak memory is bounded by the chunk, not by ``N * out_h * out_w``.
     """
 
     if x.ndim not in (3, 4):
@@ -62,19 +82,40 @@ def hw_conv2d(
 
     out_h = conv_output_size(h, kh, stride, padding)
     out_w = conv_output_size(w, kw, stride, padding)
+    rows_per_image = out_h * out_w
+    k = c_in * kh * kw
 
-    # im2col on the raw integer representation; zero padding is exact in
-    # fixed point, so reusing the float helper on int64 data is safe.
-    cols = im2col(raw.astype(np.int64), kh, kw, stride, padding)
-    w_mat = weight.raw.reshape(c_out, -1).astype(np.int64)
+    # Plan the exact GEMM from actual magnitudes: weights are decomposed
+    # once; every image chunk then runs as a single stacked-limb BLAS call.
+    w_mat = np.ascontiguousarray(weight.raw.reshape(c_out, k).T)
+    gemm = PlannedGemm(w_mat, a_max=_magnitude(raw))
 
-    # Wide accumulation followed by a single renormalisation, matching a MAC
-    # unit with a wide accumulator register.  Integer matmul is exact, so
-    # batching the images changes nothing about any one image's result.
-    acc = cols @ w_mat.T
-    renorm = acc >> fmt.fraction_bits
-    renorm = np.clip(renorm, fmt.min_int, fmt.max_int)
-    out = renorm.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+    if row_chunk is None:
+        row_chunk = DEFAULT_ROW_CHUNK
+    if row_chunk < 1:
+        raise ValueError("row_chunk must be a positive integer")
+    images_per_chunk = min(n, max(1, row_chunk // rows_per_image))
+
+    out_mat = np.empty((n * rows_per_image, c_out), dtype=np.int64)
+    cols_buf = np.empty((images_per_chunk * rows_per_image, k), dtype=gemm.a_dtype)
+    for start in range(0, n, images_per_chunk):
+        stop = min(start + images_per_chunk, n)
+        chunk_rows = (stop - start) * rows_per_image
+        # im2col gathers straight into the GEMM's operand dtype: the
+        # expanded patch matrix is materialised once, in one buffer reused
+        # across chunks (zero padding is exact in fixed point).
+        cols = im2col(
+            raw[start:stop], kh, kw, stride, padding, out=cols_buf[:chunk_rows]
+        )
+        acc = gemm(cols)
+        # Wide accumulation followed by a single renormalisation, matching a
+        # MAC unit with a wide accumulator register.  Integer arithmetic is
+        # exact, so neither batching nor chunking changes any image's result.
+        renorm = acc >> fmt.fraction_bits
+        np.clip(renorm, fmt.min_int, fmt.max_int, out=renorm)
+        out_mat[start * rows_per_image : stop * rows_per_image] = renorm
+
+    out = out_mat.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
     return FxArray(out if batched else out[0], fmt)
 
 

@@ -31,6 +31,9 @@ def im2col(
     kernel_w: int,
     stride: int = 1,
     padding: int = 0,
+    *,
+    dtype=None,
+    out: np.ndarray = None,
 ) -> np.ndarray:
     """Rearrange image patches into columns.
 
@@ -42,6 +45,16 @@ def im2col(
         Kernel spatial size.
     stride, padding:
         Convolution stride and symmetric zero padding.
+    dtype:
+        Target dtype of the column matrix (default: ``x.dtype``).  The
+        gather and the cast happen in one fused copy, so e.g. the int64
+        fixed-point path can materialise float64 GEMM input directly
+        without first paying an int64 copy of the expanded matrix.
+    out:
+        Preallocated ``(N * out_h * out_w, C * kernel_h * kernel_w)``
+        C-contiguous destination — lets chunked callers reuse one buffer
+        instead of allocating per chunk.  Mutually exclusive with ``dtype``
+        disagreeing with ``out.dtype``.
 
     Returns
     -------
@@ -52,6 +65,8 @@ def im2col(
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
     out_w = conv_output_size(w, kernel_w, stride, padding)
+    rows = n * out_h * out_w
+    cols_per_row = c * kernel_h * kernel_w
 
     if padding > 0:
         x = np.pad(
@@ -66,10 +81,24 @@ def im2col(
     strides = (sn, sc, sh, sw, sh * stride, sw * stride)
     patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
 
-    cols = patches.transpose(0, 4, 5, 1, 2, 3).reshape(
-        n * out_h * out_w, c * kernel_h * kernel_w
+    if out is None:
+        out = np.empty((rows, cols_per_row), dtype=x.dtype if dtype is None else dtype)
+    else:
+        if out.shape != (rows, cols_per_row):
+            raise ValueError(
+                f"out has shape {out.shape}, expected {(rows, cols_per_row)}"
+            )
+        if dtype is not None and out.dtype != np.dtype(dtype):
+            raise ValueError(f"out dtype {out.dtype} conflicts with dtype={np.dtype(dtype)}")
+        if not out.flags.c_contiguous:
+            raise ValueError("out must be C-contiguous")
+    # One fused gather+cast: the expanded C*KH*KW matrix is materialised
+    # exactly once, already in the dtype the downstream GEMM wants.
+    np.copyto(
+        out.reshape(n, out_h, out_w, c, kernel_h, kernel_w),
+        patches.transpose(0, 4, 5, 1, 2, 3),
     )
-    return np.ascontiguousarray(cols)
+    return out
 
 
 def col2im(

@@ -112,7 +112,9 @@ class TestAccuracySweepApi:
         assert csv_text.splitlines()[0] == ",".join(COLUMNS)
         assert len(csv_text.splitlines()) == 3
         data = json.loads(result.to_json())
-        assert [row["word_length"] for row in data] == [16, 8]
+        assert [row["word_length"] for row in data["points"]] == [16, 8]
+        assert data["reproducibility"]["seed"] == 0
+        assert data["reproducibility"]["workers"] == 1
 
 
 class TestAccuracySweepCli:
@@ -128,8 +130,14 @@ class TestAccuracySweepCli:
     def test_json_output_schema(self, capsys):
         out = self.run(capsys, "accuracy-sweep", "--images", "2", "--formats", "16:8", "--json")
         data = json.loads(out)
-        assert len(data) == 1
-        assert set(data[0]) == set(COLUMNS)
+        assert set(data) == {"reproducibility", "points"}
+        assert len(data["points"]) == 1
+        assert set(data["points"][0]) == set(COLUMNS)
+        assert data["reproducibility"]["chunk_size"] is None
+
+    def test_table_echoes_reproducibility(self, capsys):
+        out = self.run(capsys, "accuracy-sweep", "--images", "2", "--formats", "16:8")
+        assert "reproducibility:" in out and "seed=0" in out
 
     def test_pareto_output(self, capsys):
         out = self.run(

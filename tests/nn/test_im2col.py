@@ -76,6 +76,55 @@ class TestIm2Col:
         np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-10)
 
 
+class TestIm2ColDtypeOut:
+    """The fused gather+cast path feeding the split-limb GEMM."""
+
+    def test_dtype_casts_in_one_copy(self):
+        x = np.arange(2 * 3 * 5 * 5, dtype=np.int64).reshape(2, 3, 5, 5)
+        cols = im2col(x, 3, 3, stride=1, padding=1, dtype=np.float64)
+        assert cols.dtype == np.float64
+        np.testing.assert_array_equal(
+            cols, im2col(x, 3, 3, stride=1, padding=1).astype(np.float64)
+        )
+
+    def test_out_buffer_is_filled_and_returned(self):
+        x = np.arange(1 * 2 * 4 * 4, dtype=np.int64).reshape(1, 2, 4, 4)
+        buf = np.full((16, 18), -1, dtype=np.float64)
+        cols = im2col(x, 3, 3, stride=1, padding=1, out=buf)
+        assert cols is buf
+        np.testing.assert_array_equal(buf, im2col(x, 3, 3, stride=1, padding=1))
+
+    def test_out_reuse_across_chunks_matches_fresh_allocation(self):
+        rng = np.random.default_rng(2)
+        buf = np.empty((16, 18), dtype=np.float64)
+        for _ in range(3):
+            x = rng.normal(size=(1, 2, 4, 4))
+            got = im2col(x, 3, 3, stride=1, padding=1, out=buf)
+            np.testing.assert_array_equal(got, im2col(x, 3, 3, stride=1, padding=1))
+
+    def test_out_shape_mismatch_raises(self):
+        x = np.zeros((1, 2, 4, 4))
+        with pytest.raises(ValueError, match="shape"):
+            im2col(x, 3, 3, stride=1, padding=1, out=np.empty((15, 18)))
+
+    def test_out_dtype_conflict_raises(self):
+        x = np.zeros((1, 2, 4, 4))
+        buf = np.empty((16, 18), dtype=np.float32)
+        with pytest.raises(ValueError, match="dtype"):
+            im2col(x, 3, 3, stride=1, padding=1, dtype=np.float64, out=buf)
+
+    def test_non_contiguous_out_raises(self):
+        x = np.zeros((1, 2, 4, 4))
+        buf = np.empty((16, 36), dtype=np.float64)[:, ::2]
+        with pytest.raises(ValueError, match="contiguous"):
+            im2col(x, 3, 3, stride=1, padding=1, out=buf)
+
+    def test_default_path_unchanged(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols = im2col(x, 3, 3, stride=1, padding=0)
+        assert cols.dtype == np.float32
+
+
 class TestCol2Im:
     def test_roundtrip_counts_overlaps(self):
         # col2im(im2col(x)) multiplies each pixel by the number of windows
